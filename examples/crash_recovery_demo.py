@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Crash-recovery deep dive: STAR vs Anubis on a persistent B-tree.
+
+Runs the same B-tree workload under both recoverable schemes, crashes
+each machine mid-flight and compares what recovery has to do:
+
+* STAR walks the multi-layer bitmap index and restores only the *stale*
+  lines (~10 NVM reads per line);
+* Anubis scans its whole shadow-table region (sized like the cache).
+
+Run with::
+
+    python examples/crash_recovery_demo.py
+"""
+
+from repro import Machine, make_workload, sim_config
+
+
+def crash_and_recover(scheme: str):
+    config = sim_config()
+    machine = Machine(config, scheme=scheme)
+    workload = make_workload("btree", config.num_data_lines,
+                             operations=1200, seed=1)
+    machine.run(workload.ops())
+    dirty = machine.controller.meta_cache.dirty_count()
+    resident = len(machine.controller.meta_cache)
+    machine.crash()
+    report = machine.recover()
+    assert machine.oracle_check(report), "recovery must be exact"
+    return machine, report, dirty, resident
+
+
+print("running 1200 B-tree inserts under each scheme...\n")
+for scheme in ("star", "anubis"):
+    machine, report, dirty, resident = crash_and_recover(scheme)
+    print("%s:" % scheme.upper())
+    print("  metadata cache at crash: %d resident, %d dirty (%.0f%%)"
+          % (resident, dirty, 100 * dirty / max(resident, 1)))
+    print("  restored lines:          %d" % report.restored_lines)
+    print("  NVM accesses:            %d reads + %d writes"
+          % (report.nvm_reads, report.nvm_writes))
+    if report.stale_lines:
+        print("  per restored line:       %.1f accesses"
+              % (report.line_accesses / report.restored_lines))
+    print("  modeled recovery time:   %.1f us (100 ns per line access)"
+          % (report.recovery_time_ns / 1000))
+    print()
+
+print("STAR touches only the dirty share of the cache; Anubis always")
+print("rescans a shadow table the size of the whole cache (Fig. 14).")

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: a secure NVM machine under STAR in ~30 lines.
+
+Builds a scaled machine, writes and reads encrypted, integrity-protected
+data, then pulls the power and recovers the security metadata.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Machine, sim_config
+
+config = sim_config()
+machine = Machine(config, scheme="star")
+controller = machine.controller
+
+print("machine:", config.memory_bytes // 1024 ** 2, "MB NVM,",
+      config.metadata_cache.size_bytes // 1024, "KB metadata cache,",
+      controller.geometry.num_levels, "SIT levels")
+
+# write some user data: each line is encrypted under counter-mode and
+# its MAC side-band carries the parent counter's LSBs (synergization)
+secret = b"attack at dawn".ljust(64, b"\x00")
+for line in range(0, 80, 8):
+    controller.write_data(line, secret)
+
+assert controller.read_data(0) == secret
+print("wrote and verified", 10, "lines;",
+      controller.meta_cache.dirty_count(), "metadata lines are dirty")
+
+# power failure: volatile caches vanish, NVM + on-chip registers survive
+machine.crash()
+print("crash! stale metadata lines:", len(machine.pre_crash_dirty))
+
+# STAR recovery: walk the bitmap index, rebuild counters from child
+# LSBs, recompute MACs, verify via the cache-tree root
+report = machine.recover(raise_on_failure=True)
+print("recovered %d stale lines in %.1f us (%.0f NVM line accesses), "
+      "verification %s"
+      % (report.stale_lines, report.recovery_time_ns / 1000,
+         report.line_accesses, "OK" if report.verified else "FAILED"))
+assert machine.oracle_check(report), "recovery must be exact"
+
+# the data is still there for a rebooted machine
+rebooted = Machine(config, scheme="star",
+                   registers=machine.registers, nvm=machine.nvm)
+assert rebooted.controller.read_data(0) == secret
+print("rebooted machine decrypted and verified the data — done")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Endurance: why write amplification matters, and what wear leveling
+adds on top.
+
+The paper's opening argument is that PCM cells endure only 1e7-1e9
+writes, so a persistence scheme that doubles write traffic (Anubis) or
+multiplies it by the tree height (strict persistence) eats device
+lifetime. This example measures per-line wear for each scheme on the
+same trace, then shows the orthogonal fix production controllers pair
+with low-traffic schemes: start-gap wear leveling (the paper's
+reference [26]) migrating a hot line across physical slots.
+
+Run with::
+
+    python examples/wear_leveling.py
+"""
+
+from repro import Machine, make_workload, sim_config
+from repro.mem.wearlevel import WearLevelingNVM
+from repro.sim.endurance import wear_report
+
+config = sim_config()
+
+print("per-scheme wear on the same queue workload "
+      "(hot header line + ring):\n")
+print("%-8s %12s %10s %12s %10s" % (
+    "scheme", "NVM writes", "max wear", "imbalance", "hottest"))
+for scheme in ("wb", "strict", "anubis", "star"):
+    machine = Machine(config, scheme=scheme)
+    workload = make_workload("queue", config.num_data_lines,
+                             operations=1200, seed=2)
+    machine.run(workload.ops())
+    report = wear_report(machine.nvm)
+    print("%-8s %12d %10d %11.1fx %10s" % (
+        scheme, machine.nvm.total_writes(), report.max_wear,
+        report.imbalance, report.hottest_line[0]))
+
+print("""
+Anubis' hottest line is the shadow-table slot mirroring the hot queue
+header; strict persistence hammers the SIT's upper levels. STAR's wear
+profile is the write-back baseline's.
+
+Start-gap wear leveling (ref [26]) is the orthogonal fix: the hot line
+slowly migrates across physical slots. On a small device the rotation
+is visible quickly — hammering one logical line of a 64-line device:
+""")
+from repro.tree.node import DataLineImage  # noqa: E402
+
+for interval in (10 ** 9, 16, 4):
+    device = WearLevelingNVM(64, gap_write_interval=interval)
+    for _ in range(2000):
+        device.write_data(3, DataLineImage(bytes(64), 0, 0))
+    report = wear_report(device)
+    label = ("off" if interval == 10 ** 9
+             else "every %d writes" % interval)
+    print("  gap move %-16s max physical wear %5d (of 2000 writes)"
+          % (label + ":", report.max_wear))
+
+print("""
+And the remapping layer is invisible to the security machinery — the
+full machine still crash-recovers on a wear-leveled device:
+""")
+nvm = WearLevelingNVM(config.num_data_lines, gap_write_interval=50)
+machine = Machine(config, scheme="star", nvm=nvm)
+workload = make_workload("queue", config.num_data_lines,
+                         operations=1200, seed=2)
+machine.run(workload.ops())
+machine.crash()
+report = machine.recover(raise_on_failure=True)
+print("  crash-recovery: verified=%s, exact=%s (gap moves during the "
+      "run: %d)" % (report.verified, machine.oracle_check(report),
+                    nvm.stats["wearlevel.gap_moves"]))

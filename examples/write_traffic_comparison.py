@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scheme comparison on one workload: traffic, IPC, energy, recovery.
+
+A miniature of the paper's whole evaluation on a single workload of
+your choice — handy for exploring how the schemes respond to different
+access patterns.
+
+Run with::
+
+    python examples/write_traffic_comparison.py [workload]
+
+where workload is one of: array btree hash queue rbtree tpcc ycsb
+(default: hash).
+"""
+
+import sys
+
+from repro import ALL_WORKLOADS, Machine, make_workload, sim_config
+
+workload_name = sys.argv[1] if len(sys.argv) > 1 else "hash"
+if workload_name not in ALL_WORKLOADS:
+    raise SystemExit("unknown workload %r (choose from %s)"
+                     % (workload_name, ", ".join(ALL_WORKLOADS)))
+
+config = sim_config()
+operations = 300 if workload_name == "tpcc" else 1500
+results = {}
+for scheme in ("wb", "strict", "anubis", "star"):
+    machine = Machine(config, scheme=scheme)
+    workload = make_workload(workload_name, config.num_data_lines,
+                             operations=operations, seed=42)
+    machine.run(workload.ops())
+    if machine.scheme.supports_sit_recovery:
+        machine.crash()
+        recovery = machine.recover()
+        assert machine.oracle_check(recovery)
+    else:
+        recovery = None
+    results[scheme] = machine.result(workload_name, recovery=recovery)
+
+baseline = results["wb"]
+print("workload: %s (%d operations)\n" % (workload_name, operations))
+header = "%-8s %12s %9s %8s %9s %16s" % (
+    "scheme", "NVM writes", "vs WB", "IPC", "energy", "recovery",
+)
+print(header)
+print("-" * len(header))
+for scheme, result in results.items():
+    if result.recovery is None:
+        recovery = "unsupported"
+    else:
+        recovery = "%d lines, %.0f us" % (
+            result.recovery.restored_lines,
+            result.recovery.recovery_time_ns / 1000,
+        )
+    print("%-8s %12d %8.2fx %8.3f %8.2fx %16s" % (
+        scheme,
+        result.nvm_writes,
+        result.normalized_writes(baseline),
+        result.normalized_ipc(baseline),
+        result.normalized_energy(baseline),
+        recovery,
+    ))
+
+star = results["star"]
+anubis = results["anubis"]
+extra_star = star.nvm_writes - baseline.nvm_writes
+extra_anubis = anubis.nvm_writes - baseline.nvm_writes
+if extra_anubis:
+    print("\nSTAR eliminates %.0f%% of Anubis' extra write traffic "
+          "(paper: 92%%)" % (100 * (1 - extra_star / extra_anubis)))

@@ -1,0 +1,5 @@
+"""Legacy shim: enables `pip install -e . --no-use-pep517` in offline
+environments that lack the `wheel` package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,340 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each ``experiment_*`` function regenerates the rows/series of one paper
+result as an :class:`~repro.bench.tables.ExperimentTable`, with the
+paper's reported values attached as notes so the shape comparison is
+explicit. ``run_all`` produces the complete set (the content of
+EXPERIMENTS.md).
+
+================  ====================================================
+experiment        paper result
+================  ====================================================
+``fig10``         bitmap-line writes vs WB writes (avg ~1/461)
+``fig11``         write traffic normalized to WB (STAR 1.08x, Anubis 2x)
+``fig12``         IPC normalized to WB (STAR ~0.98, Anubis ~0.90)
+``fig13``         energy normalized to WB (STAR +4%, Anubis +46%)
+``table2``        ADR bitmap-line hit ratio vs #lines in ADR
+``fig14a``        dirty fraction of the metadata cache (~78%)
+``fig14b``        recovery time vs metadata cache size
+================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.runner import (
+    GridKey,
+    PAPER_SCHEMES,
+    config_for_scale,
+    geometric_mean,
+    run_grid,
+    run_one,
+)
+from repro.bench.tables import ExperimentTable
+from repro.config import LINE_SIZE
+from repro.sim.results import RunResult
+from repro.workloads.registry import ALL_WORKLOADS
+
+PAPER_TABLE2 = {2: 0.3285, 4: 0.4744, 8: 0.6437, 16: 0.7475, 32: 0.8219}
+PAPER_FIG11 = {"star": 1.08, "anubis": 2.0}
+PAPER_FIG12 = {"star": 0.98, "anubis": 0.90}
+PAPER_FIG13 = {"star": 1.04, "anubis": 1.46}
+PAPER_FIG14A_DIRTY = 0.78
+PAPER_FIG14B = {"star_4mb_s": 0.05, "anubis_4mb_s": 0.02}
+
+
+def paper_grid(scale: str = "default",
+               workloads: Optional[Iterable[str]] = None,
+               seed: int = 42) -> Dict[GridKey, RunResult]:
+    """The scheme x workload grid shared by Figs. 10-13 and 14(a)."""
+    config = config_for_scale(scale)
+    return run_grid(config, PAPER_SCHEMES, workloads, scale=scale,
+                    seed=seed)
+
+
+def _workloads_of(grid: Dict[GridKey, RunResult]) -> List[str]:
+    ordered: List[str] = []
+    for _scheme, workload in grid:
+        if workload not in ordered:
+            ordered.append(workload)
+    return ordered
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — bitmap-line write traffic vs WB write traffic
+# ----------------------------------------------------------------------
+def experiment_fig10(scale: str = "default",
+                     grid: Optional[Dict[GridKey, RunResult]] = None
+                     ) -> ExperimentTable:
+    if grid is None:
+        grid = paper_grid(scale)
+    table = ExperimentTable(
+        experiment_id="Fig. 10",
+        title="bitmap-line writes of STAR vs WB write traffic",
+        columns=["workload", "wb_writes", "bitmap_writes",
+                 "wb_to_bitmap_ratio"],
+        notes=[
+            "paper: WB issues on average 461x more writes than STAR "
+            "writes bitmap lines; the ratio depends on workload locality",
+        ],
+    )
+    ratios = []
+    for workload in _workloads_of(grid):
+        star = grid[("star", workload)]
+        wb = grid[("wb", workload)]
+        bitmap_writes = star.bitmap_writes
+        ratio = (
+            wb.nvm_writes / bitmap_writes if bitmap_writes else float("inf")
+        )
+        if bitmap_writes:
+            ratios.append(ratio)
+        table.add_row(
+            workload=workload,
+            wb_writes=wb.nvm_writes,
+            bitmap_writes=bitmap_writes,
+            wb_to_bitmap_ratio=ratio,
+        )
+    if ratios:
+        table.add_row(
+            workload="average",
+            wb_writes="",
+            bitmap_writes="",
+            wb_to_bitmap_ratio=sum(ratios) / len(ratios),
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figs. 11/12/13 — normalized traffic / IPC / energy
+# ----------------------------------------------------------------------
+def _normalized_experiment(grid: Dict[GridKey, RunResult],
+                           experiment_id: str, title: str, metric: str,
+                           notes: List[str]) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=experiment_id,
+        title=title,
+        columns=["workload"] + PAPER_SCHEMES,
+        notes=notes,
+    )
+    sums: Dict[str, List[float]] = {scheme: [] for scheme in PAPER_SCHEMES}
+    for workload in _workloads_of(grid):
+        wb = grid[("wb", workload)]
+        row: Dict[str, object] = {"workload": workload}
+        for scheme in PAPER_SCHEMES:
+            result = grid[(scheme, workload)]
+            value = getattr(result, metric)(wb)
+            row[scheme] = value
+            sums[scheme].append(value)
+        table.add_row(**row)
+    mean_row: Dict[str, object] = {"workload": "gmean"}
+    for scheme in PAPER_SCHEMES:
+        mean_row[scheme] = geometric_mean(sums[scheme])
+    table.add_row(**mean_row)
+    return table
+
+
+def experiment_fig11(scale: str = "default",
+                     grid: Optional[Dict[GridKey, RunResult]] = None
+                     ) -> ExperimentTable:
+    if grid is None:
+        grid = paper_grid(scale)
+    return _normalized_experiment(
+        grid, "Fig. 11", "NVM write traffic normalized to WB",
+        "normalized_writes",
+        [
+            "paper: STAR 1.08x (array 1.21x, hash 1.34x), Anubis 2x, "
+            "strict persistence up to ~9x in theory (less in practice "
+            "because WB itself evicts tree nodes)",
+        ],
+    )
+
+
+def experiment_fig12(scale: str = "default",
+                     grid: Optional[Dict[GridKey, RunResult]] = None
+                     ) -> ExperimentTable:
+    if grid is None:
+        grid = paper_grid(scale)
+    return _normalized_experiment(
+        grid, "Fig. 12", "IPC normalized to WB", "normalized_ipc",
+        [
+            "paper: STAR ~98% of WB, Anubis ~90%; the hash workload "
+            "shows the largest degradation (8% for STAR)",
+        ],
+    )
+
+
+def experiment_fig13(scale: str = "default",
+                     grid: Optional[Dict[GridKey, RunResult]] = None
+                     ) -> ExperimentTable:
+    if grid is None:
+        grid = paper_grid(scale)
+    return _normalized_experiment(
+        grid, "Fig. 13", "NVM energy normalized to WB",
+        "normalized_energy",
+        ["paper: STAR +4% over WB on average, Anubis +46%"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II — ADR bitmap-line hit ratio vs number of lines in ADR
+# ----------------------------------------------------------------------
+def experiment_table2(scale: str = "default",
+                      adr_line_counts: Sequence[int] = (2, 4, 8, 16, 32),
+                      workloads: Optional[Iterable[str]] = None,
+                      seed: int = 42,
+                      bitmap_fanout: int = 64) -> ExperimentTable:
+    """ADR pressure depends on how many bitmap lines the touched
+    metadata spans; the tighter fanout keeps the span-to-ADR ratio at
+    the paper's scale (see ``sim_config``'s scaling note)."""
+    workloads = (
+        list(workloads) if workloads is not None else list(ALL_WORKLOADS)
+    )
+    table = ExperimentTable(
+        experiment_id="Table II",
+        title="bitmap-line hit ratio vs lines held in ADR",
+        columns=["adr_lines", "hit_ratio", "paper_hit_ratio"],
+        notes=[
+            "hit ratio averaged over all workloads; more ADR lines "
+            "cover more metadata, with diminishing returns (the paper "
+            "picks 16)",
+        ],
+    )
+    from repro.bench.runner import SCALES
+    spec = SCALES[scale]
+    for lines in adr_line_counts:
+        config = config_for_scale(
+            scale, adr_bitmap_lines=lines, bitmap_fanout=bitmap_fanout,
+        )
+        ratios = []
+        for workload in workloads:
+            result = run_one(
+                config, "star", workload,
+                spec.operations_for(workload), seed=seed,
+            )
+            ratios.append(result.adr_hit_ratio)
+        table.add_row(
+            adr_lines=lines,
+            hit_ratio=sum(ratios) / len(ratios),
+            paper_hit_ratio=PAPER_TABLE2.get(lines, ""),
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Fig. 14(a) — dirty fraction of the metadata cache
+# ----------------------------------------------------------------------
+def experiment_fig14a(scale: str = "default",
+                      grid: Optional[Dict[GridKey, RunResult]] = None
+                      ) -> ExperimentTable:
+    if grid is None:
+        grid = paper_grid(scale)
+    table = ExperimentTable(
+        experiment_id="Fig. 14(a)",
+        title="dirty share of the metadata cache at crash time",
+        columns=["workload", "dirty_fraction"],
+        notes=["paper: ~78% of cached metadata are dirty on average; "
+               "STAR only restores those, Anubis restores 100%"],
+    )
+    fractions = []
+    for workload in _workloads_of(grid):
+        star = grid[("star", workload)]
+        fractions.append(star.dirty_fraction)
+        table.add_row(workload=workload, dirty_fraction=star.dirty_fraction)
+    if fractions:
+        table.add_row(
+            workload="average",
+            dirty_fraction=sum(fractions) / len(fractions),
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Fig. 14(b) — recovery time vs metadata cache size
+# ----------------------------------------------------------------------
+def experiment_fig14b(scale: str = "default",
+                      cache_sizes_bytes: Sequence[int] = (
+                          4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024),
+                      workload: str = "hash",
+                      paper_cache_mbytes: Sequence[float] = (
+                          0.5, 1.0, 2.0, 4.0),
+                      seed: int = 42) -> ExperimentTable:
+    """Measured recovery time on sim-scale caches, plus the projection
+    to the paper's cache sizes using the measured per-line costs."""
+    from repro.bench.runner import SCALES
+    spec = SCALES[scale]
+    table = ExperimentTable(
+        experiment_id="Fig. 14(b)",
+        title="recovery time after a crash vs metadata cache size",
+        columns=["kind", "cache", "star_seconds", "anubis_seconds"],
+        notes=[
+            "paper: STAR 0.05s vs Anubis 0.02s for a 4MB cache; both "
+            "are negligible next to the 10-100s platform self-test",
+            "projection uses the measured dirty fraction and per-line "
+            "access counts at the 100ns/line cost the paper assumes",
+        ],
+    )
+    from repro.sim.projection import (
+        ANUBIS_ACCESSES_PER_CACHE_LINE,
+        STAR_ACCESSES_PER_STALE_LINE,
+        project,
+    )
+    star_per_stale = STAR_ACCESSES_PER_STALE_LINE
+    anubis_per_slot = ANUBIS_ACCESSES_PER_CACHE_LINE
+    dirty_fraction = PAPER_FIG14A_DIRTY
+    for size in cache_sizes_bytes:
+        config = config_for_scale(scale).with_metadata_cache_bytes(size)
+        star = run_one(config, "star", workload,
+                       spec.operations_for(workload), seed=seed,
+                       crash_and_recover=True)
+        anubis = run_one(config, "anubis", workload,
+                         spec.operations_for(workload), seed=seed,
+                         crash_and_recover=True)
+        assert star.recovery is not None and anubis.recovery is not None
+        if star.recovery.stale_lines:
+            star_per_stale = (
+                star.recovery.line_accesses / star.recovery.stale_lines
+            )
+            dirty_fraction = star.dirty_fraction
+        anubis_per_slot = (
+            anubis.recovery.line_accesses
+            / (size // LINE_SIZE)
+        )
+        table.add_row(
+            kind="measured",
+            cache="%dKB" % (size // 1024),
+            star_seconds=star.recovery.recovery_time_s,
+            anubis_seconds=anubis.recovery.recovery_time_s,
+        )
+    for mbytes in paper_cache_mbytes:
+        projection = project(
+            cache_bytes=int(mbytes * 1024 * 1024),
+            dirty_fraction=dirty_fraction,
+            star_accesses_per_stale=star_per_stale,
+            anubis_accesses_per_line=anubis_per_slot,
+        )
+        table.add_row(
+            kind="projected",
+            cache="%.1fMB" % mbytes,
+            star_seconds=projection.star_seconds,
+            anubis_seconds=projection.anubis_seconds,
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# everything
+# ----------------------------------------------------------------------
+def run_all(scale: str = "default", seed: int = 42
+            ) -> List[ExperimentTable]:
+    """Regenerate every table and figure of the paper's evaluation."""
+    grid = paper_grid(scale, seed=seed)
+    return [
+        experiment_fig10(scale, grid),
+        experiment_fig11(scale, grid),
+        experiment_fig12(scale, grid),
+        experiment_fig13(scale, grid),
+        experiment_table2(scale, seed=seed),
+        experiment_fig14a(scale, grid),
+        experiment_fig14b(scale, seed=seed),
+    ]

@@ -1,0 +1,82 @@
+"""Markdown and ASCII-chart rendering of experiment results.
+
+``star-bench --markdown results.md`` writes a self-contained report in
+the same format as EXPERIMENTS.md; the bar charts give the figures'
+visual shape directly in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bench.tables import Cell, ExperimentTable, _format_cell
+
+BAR_WIDTH = 40
+
+
+def render_markdown_table(table: ExperimentTable) -> str:
+    """One experiment as a Markdown section."""
+    lines = [
+        "## %s — %s" % (table.experiment_id, table.title),
+        "",
+        "| " + " | ".join(table.columns) + " |",
+        "|" + "|".join("---" for _ in table.columns) + "|",
+    ]
+    for row in table.rows:
+        cells = [_format_cell(row.get(column, ""))
+                 for column in table.columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    for note in table.notes:
+        lines.append("")
+        lines.append("> %s" % note)
+    return "\n".join(lines)
+
+
+def render_markdown_report(tables: Sequence[ExperimentTable],
+                           title: str = "STAR reproduction results"
+                           ) -> str:
+    """A full Markdown report over several experiments."""
+    sections = ["# %s" % title, ""]
+    for table in tables:
+        sections.append(render_markdown_table(table))
+        sections.append("")
+    return "\n".join(sections)
+
+
+def render_bar_chart(table: ExperimentTable, label_column: str,
+                     value_columns: Sequence[str],
+                     width: int = BAR_WIDTH) -> str:
+    """An ASCII grouped bar chart of numeric columns.
+
+    Used to eyeball the figures: each row becomes a group, each value
+    column a bar scaled against the chart-wide maximum.
+    """
+    numeric_rows: List[dict] = []
+    for row in table.rows:
+        if all(isinstance(row.get(column), (int, float))
+               for column in value_columns):
+            numeric_rows.append(row)
+    if not numeric_rows:
+        return "(no numeric rows to chart)"
+    peak = max(
+        float(row[column])
+        for row in numeric_rows for column in value_columns
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(
+        [len(str(row.get(label_column, ""))) for row in numeric_rows]
+        + [len(column) for column in value_columns]
+    )
+    lines = ["%s — %s" % (table.experiment_id, table.title)]
+    for row in numeric_rows:
+        lines.append(str(row.get(label_column, "")))
+        for column in value_columns:
+            value = float(row[column])
+            bar = "#" * max(1, round(value / peak * width)) \
+                if value > 0 else ""
+            lines.append(
+                "  %-*s |%s %s"
+                % (label_width, column, bar, _format_cell(value))
+            )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Standalone SVG bar charts of the reproduced figures.
+
+``star-bench --svg DIR`` renders each experiment as a grouped bar chart
+(one group per row, one bar per numeric column) in a self-contained
+``.svg`` file — no plotting dependencies, viewable in any browser. The
+visual layout mirrors the paper's figures: workloads on the x-axis,
+normalized values on the y-axis, one shade per scheme.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bench.tables import ExperimentTable
+
+# a small colour-blind-safe palette
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44",
+           "#66ccee", "#aa3377", "#bbbbbb")
+
+CHART_WIDTH = 640
+CHART_HEIGHT = 360
+MARGIN_LEFT = 56
+MARGIN_BOTTOM = 64
+MARGIN_TOP = 40
+MARGIN_RIGHT = 16
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _numeric_rows(table: ExperimentTable,
+                  value_columns: Sequence[str]) -> List[dict]:
+    rows = []
+    for row in table.rows:
+        values = [row.get(column) for column in value_columns]
+        if all(isinstance(value, (int, float))
+               and not isinstance(value, bool) for value in values):
+            rows.append(row)
+    return rows
+
+
+def numeric_columns(table: ExperimentTable) -> List[str]:
+    """The chartable columns: numeric in at least one row."""
+    names = []
+    for column in table.columns[1:]:
+        for row in table.rows:
+            value = row.get(column)
+            if isinstance(value, (int, float)) and \
+                    not isinstance(value, bool):
+                names.append(column)
+                break
+    return names
+
+
+def render_svg(table: ExperimentTable,
+               label_column: Optional[str] = None,
+               value_columns: Optional[Sequence[str]] = None) -> str:
+    """Render one experiment table as an SVG grouped bar chart."""
+    label_column = label_column or table.columns[0]
+    value_columns = list(value_columns or numeric_columns(table))
+    rows = _numeric_rows(table, value_columns)
+    if not rows or not value_columns:
+        return (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="320" '
+            'height="60"><text x="10" y="35" font-family="sans-serif">'
+            "no numeric data to chart</text></svg>"
+        )
+    peak = max(float(row[column])
+               for row in rows for column in value_columns)
+    peak = peak if peak > 0 else 1.0
+
+    plot_width = CHART_WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_height = CHART_HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+    group_width = plot_width / len(rows)
+    bar_width = max(2.0, group_width * 0.8 / len(value_columns))
+    baseline_y = MARGIN_TOP + plot_height
+
+    parts: List[str] = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" '
+        'height="%d" font-family="sans-serif">'
+        % (CHART_WIDTH, CHART_HEIGHT),
+        '<text x="%d" y="22" font-size="14" font-weight="bold">'
+        "%s — %s</text>"
+        % (MARGIN_LEFT, _esc(table.experiment_id), _esc(table.title)),
+        # y axis + gridlines at quarters of the peak
+        '<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>'
+        % (MARGIN_LEFT, MARGIN_TOP, MARGIN_LEFT, baseline_y),
+        '<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>'
+        % (MARGIN_LEFT, baseline_y, CHART_WIDTH - MARGIN_RIGHT,
+           baseline_y),
+    ]
+    for quarter in range(1, 5):
+        value = peak * quarter / 4
+        y = baseline_y - plot_height * quarter / 4
+        parts.append(
+            '<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" '
+            'stroke="#ddd"/>' % (MARGIN_LEFT, y,
+                                 CHART_WIDTH - MARGIN_RIGHT, y)
+        )
+        parts.append(
+            '<text x="%d" y="%.1f" font-size="10" text-anchor="end">'
+            "%.3g</text>" % (MARGIN_LEFT - 4, y + 3, value)
+        )
+    # bars
+    for group, row in enumerate(rows):
+        group_x = MARGIN_LEFT + group * group_width
+        for series, column in enumerate(value_columns):
+            value = float(row[column])
+            height = plot_height * value / peak
+            x = group_x + group_width * 0.1 + series * bar_width
+            parts.append(
+                '<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" '
+                'fill="%s"><title>%s / %s = %.4g</title></rect>'
+                % (x, baseline_y - height, bar_width * 0.92, height,
+                   PALETTE[series % len(PALETTE)],
+                   _esc(row.get(label_column, "")), _esc(column),
+                   value)
+            )
+        parts.append(
+            '<text x="%.1f" y="%d" font-size="10" text-anchor="middle">'
+            "%s</text>"
+            % (group_x + group_width / 2, baseline_y + 14,
+               _esc(row.get(label_column, "")))
+        )
+    # legend
+    legend_y = CHART_HEIGHT - 18
+    legend_x = MARGIN_LEFT
+    for series, column in enumerate(value_columns):
+        parts.append(
+            '<rect x="%d" y="%d" width="10" height="10" fill="%s"/>'
+            % (legend_x, legend_y - 9,
+               PALETTE[series % len(PALETTE)])
+        )
+        parts.append(
+            '<text x="%d" y="%d" font-size="11">%s</text>'
+            % (legend_x + 14, legend_y, _esc(column))
+        )
+        legend_x += 14 + 8 * len(column) + 18
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(table: ExperimentTable, path: str, **kwargs) -> None:
+    with open(path, "w") as handle:
+        handle.write(render_svg(table, **kwargs))

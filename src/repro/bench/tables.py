@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment tables (figures become tables of
+their plotted series, exactly the rows/columns the paper reports)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced table/figure: labelled rows of named columns."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **cells: Cell) -> None:
+        self.rows.append(cells)
+
+    def column(self, name: str) -> List[Cell]:
+        return [row.get(name, "") for row in self.rows]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.001:
+            return "%.3g" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def render_table(table: ExperimentTable) -> str:
+    """Render as an aligned, monospaced text table."""
+    header = [table.columns]
+    body = [
+        [_format_cell(row.get(column, "")) for column in table.columns]
+        for row in table.rows
+    ]
+    widths = [
+        max(len(line[index]) for line in header + body)
+        for index in range(len(table.columns))
+    ]
+    lines = [
+        "%s — %s" % (table.experiment_id, table.title),
+        "  ".join(
+            name.ljust(width) for name, width in zip(table.columns, widths)
+        ),
+        "  ".join("-" * width for width in widths),
+    ]
+    for cells in body:
+        lines.append(
+            "  ".join(cell.ljust(width)
+                      for cell, width in zip(cells, widths))
+        )
+    for note in table.notes:
+        lines.append("note: %s" % note)
+    return "\n".join(lines)
+
+
+def render_tables(tables: Sequence[ExperimentTable]) -> str:
+    return "\n\n".join(render_table(table) for table in tables)

@@ -1,0 +1,47 @@
+"""The Bonsai-Merkle-tree substrate and its recovery baselines.
+
+Everything the Osiris / Triad-NVM extension baselines need: split
+counter blocks, the hash tree, a lean secure controller and the two
+schemes. Kept separate from the SIT machinery on purpose — the paper's
+point is precisely that these schemes do not transfer to SIT.
+"""
+
+from repro.bmt.controller import BMTController
+from repro.bmt.counters import (
+    CachedCounterBlock,
+    MINOR_LIMIT,
+    MINORS_PER_BLOCK,
+    SplitCounterImage,
+)
+from repro.bmt.schemes import (
+    BmtWriteBackScheme,
+    BMTScheme,
+    OsirisScheme,
+    SuperMemScheme,
+    TriadNvmScheme,
+)
+from repro.bmt.tree import (
+    BMTGeometry,
+    BMTHasher,
+    HASH_ARITY,
+    HashNodeImage,
+    rebuild_tree,
+)
+
+__all__ = [
+    "BMTController",
+    "BMTGeometry",
+    "BMTHasher",
+    "BMTScheme",
+    "BmtWriteBackScheme",
+    "CachedCounterBlock",
+    "HASH_ARITY",
+    "HashNodeImage",
+    "MINORS_PER_BLOCK",
+    "MINOR_LIMIT",
+    "OsirisScheme",
+    "SplitCounterImage",
+    "SuperMemScheme",
+    "TriadNvmScheme",
+    "rebuild_tree",
+]

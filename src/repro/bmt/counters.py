@@ -1,0 +1,84 @@
+"""Split counter blocks for Bonsai-Merkle-tree systems (Section II-B).
+
+Pre-SIT secure memories use the split-counter layout: one 64-byte block
+holds a 64-bit *major* counter plus 64 7-bit *minor* counters and covers
+one 4 KB page (64 data lines). A data line's encryption counter is the
+(major, minor) pair. When a minor counter overflows, the major counter
+increments, every minor resets, and the whole page must be re-encrypted
+under the new major — the burst of writes the paper alludes to when
+motivating SIT-style 56-bit counters.
+
+The SIT path of this library (``repro.tree``) does not use these; they
+exist for the BMT substrate that the Osiris and Triad-NVM extension
+baselines (Section II-E) are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+MINORS_PER_BLOCK = 64
+MINOR_BITS = 7
+MINOR_LIMIT = (1 << MINOR_BITS) - 1
+MAJOR_BITS = 64
+
+
+@dataclass(frozen=True)
+class SplitCounterImage:
+    """Immutable 64-byte image of a split counter block."""
+
+    major: int
+    minors: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.major < (1 << MAJOR_BITS):
+            raise ValueError("major counter out of range")
+        if len(self.minors) != MINORS_PER_BLOCK:
+            raise ValueError(
+                "a block holds exactly %d minor counters"
+                % MINORS_PER_BLOCK
+            )
+        for minor in self.minors:
+            if not 0 <= minor <= MINOR_LIMIT:
+                raise ValueError("minor counter out of range")
+
+    @classmethod
+    def zero(cls) -> "SplitCounterImage":
+        return cls(major=0, minors=(0,) * MINORS_PER_BLOCK)
+
+    def counter_for(self, slot: int) -> Tuple[int, int]:
+        """The (major, minor) encryption counter of one covered line."""
+        return self.major, self.minors[slot]
+
+
+class CachedCounterBlock:
+    """Mutable cached split counter block."""
+
+    __slots__ = ("major", "minors", "writes_since_persist")
+
+    def __init__(self, image: SplitCounterImage) -> None:
+        self.major = image.major
+        self.minors: List[int] = list(image.minors)
+        self.writes_since_persist = 0
+
+    def snapshot(self) -> SplitCounterImage:
+        return SplitCounterImage(self.major, tuple(self.minors))
+
+    def counter_for(self, slot: int) -> Tuple[int, int]:
+        return self.major, self.minors[slot]
+
+    def bump(self, slot: int) -> bool:
+        """Increment one minor counter; True when the block overflowed
+        (major bumped, all minors reset — the page needs re-encryption).
+        """
+        if not 0 <= slot < MINORS_PER_BLOCK:
+            raise ValueError("slot %d out of range" % slot)
+        self.writes_since_persist += 1
+        if self.minors[slot] >= MINOR_LIMIT:
+            self.major += 1
+            self.minors = [0] * MINORS_PER_BLOCK
+            self.minors[slot] = 1
+            return True
+        self.minors[slot] += 1
+        return False

@@ -1,0 +1,148 @@
+"""The Bonsai Merkle Tree (Section II-C, Fig. 2b).
+
+Unlike SIT, a BMT node carries no counters: it is a vector of eight
+64-bit hashes, one per child. A leaf-level node hashes eight counter
+blocks; higher nodes hash eight child nodes; the root digest lives on
+chip. Because every node is a pure function of its children, the whole
+tree *can* be reconstructed bottom-up from the counter blocks — which is
+exactly why Triad-NVM works for BMT and why neither it nor Osiris can
+recover SIT (an SIT MAC needs the parent's counter as an input,
+Section II-E).
+
+Geometry: one counter block covers 64 data lines (a page); the hash
+tree above the counter blocks is 8-ary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.bmt.counters import MINORS_PER_BLOCK, SplitCounterImage
+from repro.crypto.hashing import keyed_hash
+from repro.errors import ConfigError
+
+HASH_ARITY = 8
+
+
+@dataclass(frozen=True)
+class HashNodeImage:
+    """A 64-byte BMT node: eight 64-bit child digests."""
+
+    hashes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.hashes) != HASH_ARITY:
+            raise ValueError(
+                "a BMT node holds exactly %d digests" % HASH_ARITY
+            )
+
+    @classmethod
+    def zero(cls) -> "HashNodeImage":
+        return cls(hashes=(0,) * HASH_ARITY)
+
+
+class BMTGeometry:
+    """Shape of a BMT over ``num_data_lines`` of protected memory."""
+
+    def __init__(self, num_data_lines: int) -> None:
+        if num_data_lines < 1:
+            raise ConfigError("memory must contain at least one line")
+        self.num_data_lines = num_data_lines
+        self.num_counter_blocks = -(-num_data_lines // MINORS_PER_BLOCK)
+        counts: List[int] = []
+        level = -(-self.num_counter_blocks // HASH_ARITY)
+        counts.append(level)
+        while counts[-1] > HASH_ARITY:
+            counts.append(-(-counts[-1] // HASH_ARITY))
+        self.level_counts: Tuple[int, ...] = tuple(counts)
+
+    @property
+    def num_hash_levels(self) -> int:
+        return len(self.level_counts)
+
+    def counter_block_for(self, data_line: int) -> int:
+        if not 0 <= data_line < self.num_data_lines:
+            raise ValueError("data line %d out of range" % data_line)
+        return data_line // MINORS_PER_BLOCK
+
+    def minor_slot(self, data_line: int) -> int:
+        return data_line % MINORS_PER_BLOCK
+
+    def page_lines(self, block_index: int) -> List[int]:
+        """The data lines covered by one counter block."""
+        first = block_index * MINORS_PER_BLOCK
+        last = min(first + MINORS_PER_BLOCK, self.num_data_lines)
+        return list(range(first, last))
+
+    def node_meta_index(self, level: int, index: int) -> int:
+        """Flat NVM metadata index of one hash node.
+
+        Counter blocks occupy metadata indices [0, num_counter_blocks);
+        hash-node levels follow, bottom level first.
+        """
+        if not 0 <= level < self.num_hash_levels:
+            raise ValueError("hash level %d out of range" % level)
+        if not 0 <= index < self.level_counts[level]:
+            raise ValueError(
+                "index %d out of range for hash level %d"
+                % (index, level)
+            )
+        offset = self.num_counter_blocks
+        for below in range(level):
+            offset += self.level_counts[below]
+        return offset + index
+
+
+class BMTHasher:
+    """Digest functions for counter blocks and tree nodes."""
+
+    def __init__(self, key: bytes) -> None:
+        self._key = key
+
+    def counter_block_digest(self, block_index: int,
+                             image: SplitCounterImage) -> int:
+        return keyed_hash(
+            self._key, "bmt-leaf", block_index, image.major,
+            *image.minors,
+        )
+
+    def node_digest(self, level: int, index: int,
+                    image: HashNodeImage) -> int:
+        return keyed_hash(
+            self._key, "bmt-node", level, index, *image.hashes
+        )
+
+    def root_digest(self, top_level_digests: List[int]) -> int:
+        padded = list(top_level_digests)
+        padded += [0] * (HASH_ARITY - len(padded))
+        return keyed_hash(self._key, "bmt-root", *padded)
+
+
+def rebuild_tree(geometry: BMTGeometry, hasher: BMTHasher,
+                 counter_blocks: List[SplitCounterImage]
+                 ) -> Tuple[List[List[HashNodeImage]], int]:
+    """Reconstruct every BMT level bottom-up from the counter blocks.
+
+    Returns (levels, root digest). This is the operation that SIT makes
+    impossible and BMT permits — the crux of Section II-E.
+    """
+    if len(counter_blocks) != geometry.num_counter_blocks:
+        raise ValueError("need every counter block to rebuild the tree")
+    digests = [
+        hasher.counter_block_digest(index, image)
+        for index, image in enumerate(counter_blocks)
+    ]
+    levels: List[List[HashNodeImage]] = []
+    for level, count in enumerate(geometry.level_counts):
+        nodes = []
+        for index in range(count):
+            group = digests[index * HASH_ARITY:(index + 1) * HASH_ARITY]
+            group += [0] * (HASH_ARITY - len(group))
+            nodes.append(HashNodeImage(tuple(group)))
+        levels.append(nodes)
+        digests = [
+            hasher.node_digest(level, index, node)
+            for index, node in enumerate(nodes)
+        ]
+    return levels, hasher.root_digest(digests)

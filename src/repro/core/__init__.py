@@ -1,0 +1,32 @@
+"""STAR's core mechanisms: synergization, bitmap index, cache-tree,
+the persistence scheme and the recovery procedure."""
+
+from repro.core.bitmap import (
+    BitmapLineManager,
+    iter_stale_lines,
+    stale_lines_list,
+)
+from repro.core.cachetree import CacheTree
+from repro.core.index import MultiLayerIndex
+from repro.core.recovery import recover_star
+from repro.core.star import StarScheme
+from repro.core.synergy import (
+    LSB_MASK,
+    LSB_SPAN,
+    counter_lsbs,
+    reconstruct_counter,
+)
+
+__all__ = [
+    "BitmapLineManager",
+    "CacheTree",
+    "LSB_MASK",
+    "LSB_SPAN",
+    "MultiLayerIndex",
+    "StarScheme",
+    "counter_lsbs",
+    "iter_stale_lines",
+    "recover_star",
+    "reconstruct_counter",
+    "stale_lines_list",
+]

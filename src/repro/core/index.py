@@ -1,0 +1,95 @@
+"""The multi-layer bitmap index geometry (Section III-D).
+
+Layer 1 has one bit per security-metadata line (one 512-bit line covers
+32 KB of metadata). Layer ``k+1`` has one bit per layer-``k`` line and
+marks which of them are non-zero. The top layer is always a single line
+kept in an on-chip register, never written to NVM. During recovery only
+non-zero lines are read, which is what keeps recovery time proportional
+to the number of stale lines rather than to the metadata space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.config import BITMAP_FANOUT
+from repro.mem.layout import index_layer_counts
+
+BitmapLineKey = Tuple[int, int]
+"""(layer, index); layer 1 is the bottom (per-metadata-line) layer."""
+
+
+class MultiLayerIndex:
+    """Pure geometry: which line/bit covers what, layer by layer."""
+
+    def __init__(self, total_meta_lines: int,
+                 fanout: int = BITMAP_FANOUT) -> None:
+        if total_meta_lines < 1:
+            raise ValueError("index must cover at least one metadata line")
+        self.total_meta_lines = total_meta_lines
+        self.fanout = fanout
+        self.layer_counts: List[int] = index_layer_counts(
+            total_meta_lines, fanout
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_counts)
+
+    @property
+    def top_layer(self) -> int:
+        """The layer held on-chip (1-based, equals ``num_layers``)."""
+        return self.num_layers
+
+    def lines_in_layer(self, layer: int) -> int:
+        self._check_layer(layer)
+        return self.layer_counts[layer - 1]
+
+    def l1_position(self, meta_line: int) -> Tuple[int, int]:
+        """(layer-1 line index, bit) covering a metadata line."""
+        if not 0 <= meta_line < self.total_meta_lines:
+            raise ValueError("metadata line %d out of range" % meta_line)
+        return meta_line // self.fanout, meta_line % self.fanout
+
+    def parent_position(self, layer: int, line: int) -> Tuple[int, int]:
+        """(line index, bit) in layer+1 covering line ``line`` of ``layer``."""
+        self._check_line(layer, line)
+        if layer >= self.top_layer:
+            raise ValueError("the top layer has no parent")
+        return line // self.fanout, line % self.fanout
+
+    def covered_range(self, layer: int, line: int) -> Tuple[int, int]:
+        """Half-open range of layer-below indices covered by one line.
+
+        For layer 1 the range is over metadata lines; for layer ``k > 1``
+        it is over layer ``k - 1`` line indices.
+        """
+        self._check_line(layer, line)
+        below = (
+            self.total_meta_lines if layer == 1
+            else self.layer_counts[layer - 2]
+        )
+        start = line * self.fanout
+        return start, min(start + self.fanout, below)
+
+    def is_on_chip(self, layer: int) -> bool:
+        """Whether lines of this layer live in the on-chip register."""
+        self._check_layer(layer)
+        return layer == self.top_layer
+
+    def all_lines(self) -> Iterator[BitmapLineKey]:
+        """Every (layer, line) pair, bottom layer first."""
+        for layer in range(1, self.num_layers + 1):
+            for line in range(self.lines_in_layer(layer)):
+                yield (layer, line)
+
+    def _check_layer(self, layer: int) -> None:
+        if not 1 <= layer <= self.num_layers:
+            raise ValueError("layer %d out of range" % layer)
+
+    def _check_line(self, layer: int, line: int) -> None:
+        self._check_layer(layer)
+        if not 0 <= line < self.layer_counts[layer - 1]:
+            raise ValueError(
+                "line %d out of range for layer %d" % (line, layer)
+            )

@@ -1,0 +1,77 @@
+"""Keyed hashing / MAC primitives.
+
+The paper's hardware uses a Carter-Wegman style MAC engine; this
+reproduction substitutes keyed BLAKE2b (stdlib, deterministic across
+platforms) truncated to the paper's 54-bit MAC width. What matters for
+every mechanism built on top — collision detection, tamper detection,
+cache-tree roots — is that the function is a deterministic keyed PRF,
+which BLAKE2b provides.
+
+Inputs are fed through a small canonical serialization so that distinct
+tuples can never collide structurally (every part is tagged and
+length-prefixed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Union
+
+from repro.config import MAC_BITS
+from repro.util.bitfield import mask
+
+HashPart = Union[int, bytes, str]
+
+_INT_TAG = b"\x01"
+_BYTES_TAG = b"\x02"
+_STR_TAG = b"\x03"
+
+
+def _serialize(parts: Iterable[HashPart]) -> bytes:
+    chunks = []
+    for part in parts:
+        if isinstance(part, bool):
+            raise TypeError("booleans are ambiguous hash inputs")
+        if isinstance(part, int):
+            if part < 0:
+                raise ValueError("hash inputs must be non-negative ints")
+            body = part.to_bytes((part.bit_length() + 7) // 8 or 1, "big")
+            chunks.append(_INT_TAG)
+        elif isinstance(part, bytes):
+            body = part
+            chunks.append(_BYTES_TAG)
+        elif isinstance(part, str):
+            body = part.encode("utf-8")
+            chunks.append(_STR_TAG)
+        else:
+            raise TypeError("unsupported hash input type: %r" % type(part))
+        chunks.append(len(body).to_bytes(4, "big"))
+        chunks.append(body)
+    return b"".join(chunks)
+
+
+def keyed_hash(key: bytes, *parts: HashPart) -> int:
+    """A 64-bit keyed hash of the canonical serialization of ``parts``."""
+    digest = hashlib.blake2b(
+        _serialize(parts), key=key, digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def mac_n(key: bytes, nbits: int, *parts: HashPart) -> int:
+    """A keyed MAC truncated to ``nbits`` bits."""
+    return keyed_hash(key, *parts) & mask(nbits)
+
+
+def mac54(key: bytes, *parts: HashPart) -> int:
+    """The paper's 54-bit MAC (64-bit field minus 10 spare bits)."""
+    return mac_n(key, MAC_BITS, *parts)
+
+
+def hash_bytes(key: bytes, nbytes: int, *parts: HashPart) -> bytes:
+    """A keyed hash of arbitrary output length (for OTP keystreams)."""
+    if not 1 <= nbytes <= 64:
+        raise ValueError("BLAKE2b digests are limited to 64 bytes")
+    return hashlib.blake2b(
+        _serialize(parts), key=key, digest_size=nbytes
+    ).digest()

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the STAR reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class IntegrityError(ReproError):
+    """Integrity verification failed during normal operation.
+
+    Raised when a MAC check on a fetched node or user-data line fails,
+    which in a real system indicates tampering or corruption.
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not be completed.
+
+    Raised when the recovery process itself cannot proceed (for example
+    the scheme does not support recovery at all).
+    """
+
+
+class VerificationError(RecoveryError):
+    """The recovery process completed but failed verification.
+
+    For STAR this means the reconstructed cache-tree root did not match
+    the root stored in the on-chip register: an attack occurred during
+    recovery (Section III-E/III-F of the paper).
+    """
+
+
+class AllocationError(ReproError):
+    """The simulated persistent heap ran out of address space."""

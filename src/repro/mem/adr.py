@@ -1,0 +1,84 @@
+"""The asynchronous-DRAM-refresh (ADR) domain in the memory controller.
+
+ADR is a small battery-backed region: whatever resides in it when power
+fails is flushed to NVM by the residual battery energy (Section III-C).
+STAR
+keeps its working set of bitmap lines here. This module models exactly
+that contract:
+
+* a bounded set of lines managed with LRU,
+* overflow spills the LRU line to the NVM recovery area (counted as a
+  runtime NVM write),
+* at a crash, :meth:`AdrRegion.flush_on_power_failure` copies every
+  resident line to the recovery area *without* counting runtime traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.mem.nvm import NVM, BitmapLineKey
+from repro.util.lru import LRUCache
+from repro.util.stats import Stats
+
+
+class AdrRegion:
+    """Battery-backed storage for bitmap lines, spilled by LRU."""
+
+    def __init__(self, capacity_lines: int, nvm: NVM,
+                 stats: Optional[Stats] = None) -> None:
+        self._lines: LRUCache[BitmapLineKey, int] = LRUCache(capacity_lines)
+        self._nvm = nvm
+        self.stats = stats if stats is not None else nvm.stats
+
+    @property
+    def capacity(self) -> int:
+        return self._lines.capacity
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, key: BitmapLineKey) -> bool:
+        return key in self._lines
+
+    def load(self, key: BitmapLineKey) -> int:
+        """Bring a bitmap line into ADR, spilling by LRU if needed.
+
+        A hit costs nothing; a miss reads the line from the recovery area
+        and may write the spilled LRU line back — both counted as NVM
+        traffic (this is the traffic of Fig. 10 / the hit ratio of
+        Table II).
+        """
+        self.stats.add("adr.accesses")
+        if key in self._lines:
+            self.stats.add("adr.hits")
+            return self._lines.get(key)
+        self.stats.add("adr.misses")
+        value = self._nvm.read_ra(key)
+        evicted = self._lines.put(key, value)
+        if evicted is not None:
+            spilled_key, spilled_value = evicted
+            self._nvm.write_ra(spilled_key, spilled_value)
+        return value
+
+    def store(self, key: BitmapLineKey, value: int) -> None:
+        """Update a line that is already resident in ADR."""
+        if key not in self._lines:
+            raise KeyError("bitmap line %r not resident in ADR" % (key,))
+        self._lines.put(key, value)
+
+    def peek(self, key: BitmapLineKey) -> int:
+        """Read a resident line without traffic or recency effects."""
+        return self._lines.peek(key)
+
+    def items(self) -> Iterator[Tuple[BitmapLineKey, int]]:
+        return self._lines.items()
+
+    def flush_on_power_failure(self) -> None:
+        """Battery flush at a crash: persist residents, free of charge."""
+        for key, value in self._lines.items():
+            self._nvm.flush_ra(key, value)
+
+    def hit_ratio(self) -> float:
+        """Fraction of bitmap-line accesses served without NVM traffic."""
+        return self.stats.ratio("adr.hits", "adr.accesses")

@@ -1,0 +1,122 @@
+"""A bank-level PCM device timing model ("NVMain-lite").
+
+The paper evaluates on NVMain, a cycle-accurate memory simulator. The
+default timing model of this reproduction abstracts the device as a
+flat read latency plus a drain-rate-limited write queue — sufficient
+for the normalized results (DESIGN.md §6). This module provides the
+next fidelity step as an *opt-in* device model:
+
+* ``banks`` independently busy banks, line-interleaved,
+* per-bank open-row tracking: a row hit pays CAS only (tCL), a miss
+  pays activate + CAS (tRCD + tCL),
+* writes occupy the bank for the long PCM write pulse (tCWD + tWR),
+* the four-activation window (tFAW) throttles activation bursts,
+* reads are synchronous (the core stalls to completion); writes are
+  posted and only persist barriers wait for them.
+
+Enable with ``SystemConfig(..., device_timing=True)`` — the machine
+then routes every NVM access's *address* through the device instead of
+charging flat latencies. Shapes of the paper results are preserved
+(see ``benchmarks/bench_device_timing.py``); absolute times shift.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.config import NVMTimings
+
+
+class PCMDevice:
+    """Bank-parallel, row-buffered, activation-throttled PCM timing."""
+
+    def __init__(self, timings: NVMTimings, banks: int = 8,
+                 row_lines: int = 32) -> None:
+        if banks < 1:
+            raise ValueError("need at least one bank")
+        if row_lines < 1:
+            raise ValueError("rows must span at least one line")
+        self.timings = timings
+        self.banks = banks
+        self.row_lines = row_lines
+        self._bank_free_ns: List[float] = [0.0] * banks
+        self._open_row: List[Optional[int]] = [None] * banks
+        self._activations: Deque[float] = deque(maxlen=4)
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # ------------------------------------------------------------------
+    # address mapping
+    # ------------------------------------------------------------------
+    def bank_of(self, line: int) -> int:
+        """Row-interleaved banking: consecutive rows hit distinct
+        banks, consecutive lines within a row share one."""
+        return (line // self.row_lines) % self.banks
+
+    def row_of(self, line: int) -> int:
+        return line // self.row_lines
+
+    # ------------------------------------------------------------------
+    # access timing
+    # ------------------------------------------------------------------
+    def _begin(self, line: int, now_ns: float) -> Tuple[int, float]:
+        """Common bank arbitration + row activation; returns
+        (bank, data-transfer start time)."""
+        bank = self.bank_of(line)
+        row = self.row_of(line)
+        start = max(now_ns, self._bank_free_ns[bank])
+        if self._open_row[bank] == row:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1
+            start = self._respect_faw(start)
+            self._activations.append(start)
+            start += self.timings.t_rcd_ns
+            self._open_row[bank] = row
+        return bank, start
+
+    def _respect_faw(self, start: float) -> float:
+        """At most four activations per tFAW window."""
+        if len(self._activations) == self._activations.maxlen:
+            window_start = self._activations[0]
+            earliest = window_start + self.timings.t_faw_ns
+            if start < earliest:
+                return earliest
+        return start
+
+    def read(self, line: int, now_ns: float) -> float:
+        """A demand read; returns its completion time (the core stalls
+        until then)."""
+        bank, start = self._begin(line, now_ns)
+        completion = start + self.timings.t_cl_ns
+        self._bank_free_ns[bank] = completion
+        return completion
+
+    def write(self, line: int, now_ns: float) -> float:
+        """A posted write; returns when the cell write is durable."""
+        bank, start = self._begin(line, now_ns)
+        completion = start + self.timings.t_cwd_ns + self.timings.t_wr_ns
+        self._bank_free_ns[bank] = completion
+        return completion
+
+    # ------------------------------------------------------------------
+    # global state
+    # ------------------------------------------------------------------
+    def drain_time(self, now_ns: float) -> float:
+        """Time until every bank is idle (persist barriers wait here)."""
+        busiest = max(self._bank_free_ns)
+        return max(0.0, busiest - now_ns)
+
+    def pending_writes(self, now_ns: float) -> int:
+        """Banks still busy at ``now_ns`` (backpressure heuristic)."""
+        return sum(1 for free in self._bank_free_ns if free > now_ns)
+
+    def row_hit_ratio(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self._bank_free_ns = [0.0] * self.banks
+        self._open_row = [None] * self.banks
+        self._activations.clear()

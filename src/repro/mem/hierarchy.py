@@ -1,0 +1,166 @@
+"""The CPU-side cache hierarchy (L1 / L2 / LLC).
+
+The hierarchy filters the workload's reference stream: only LLC misses
+and write-backs reach the secure memory controller. Persistent workloads
+(the paper's micro-benchmarks) write durable data with ``clwb``-style
+semantics — the store is installed clean and immediately forwarded to the
+memory controller — while scratch stores stay dirty in cache and reach
+memory only through LLC evictions.
+
+``access`` returns a :class:`MemoryEvent` describing what the memory
+controller must do (nothing, a line fill, a line write-back, or both),
+plus the hit level for the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.config import CacheConfig
+from repro.mem.cache import SetAssociativeCache
+from repro.util.stats import Stats
+
+
+@dataclass
+class MemoryEvent:
+    """What one CPU access asks of the memory controller."""
+
+    hit_level: Optional[int]
+    """0-based cache level that hit, or ``None`` for a memory access."""
+
+    fills: int = 0
+    """Line fills required from memory (LLC read misses)."""
+
+    writebacks: List[int] = field(default_factory=list)
+    """Dirty line addresses evicted from the LLC toward memory."""
+
+    persists: List[int] = field(default_factory=list)
+    """Line addresses written through to memory (persistent stores)."""
+
+
+class CacheHierarchy:
+    """An inclusive-fill, write-back, write-allocate hierarchy."""
+
+    def __init__(self, levels: Sequence[CacheConfig],
+                 stats: Optional[Stats] = None) -> None:
+        if not levels:
+            raise ValueError("hierarchy needs at least one cache level")
+        self.stats = stats if stats is not None else Stats()
+        self._levels = [
+            SetAssociativeCache(config, name="L%d" % (index + 1))
+            for index, config in enumerate(levels)
+        ]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._levels)
+
+    def access(self, addr: int, is_write: bool,
+               persistent: bool = True) -> MemoryEvent:
+        """Run one CPU reference through the hierarchy."""
+        if is_write and persistent:
+            return self._persistent_write(addr)
+        if is_write:
+            return self._scratch_write(addr)
+        return self._read(addr)
+
+    # ------------------------------------------------------------------
+    # access kinds
+    # ------------------------------------------------------------------
+    def _read(self, addr: int) -> MemoryEvent:
+        hit_level = self._probe(addr)
+        if hit_level is not None:
+            self.stats.add("cpu.read_hits")
+            self._fill_through(addr, upto=hit_level, dirty=False)
+            return MemoryEvent(hit_level=hit_level)
+        self.stats.add("cpu.read_misses")
+        event = MemoryEvent(hit_level=None, fills=1)
+        self._fill_through(addr, upto=self.num_levels, dirty=False,
+                           event=event)
+        return event
+
+    def _persistent_write(self, addr: int) -> MemoryEvent:
+        """A durable store: install clean everywhere, write through."""
+        hit_level = self._probe(addr)
+        if hit_level is not None:
+            self.stats.add("cpu.write_hits")
+        else:
+            self.stats.add("cpu.write_misses")
+        event = MemoryEvent(hit_level=hit_level, persists=[addr])
+        upto = hit_level if hit_level is not None else self.num_levels
+        self._fill_through(addr, upto=upto, dirty=False, event=event)
+        # the write-through clears any stale dirtiness of this line
+        for level in self._levels:
+            line = level.lookup(addr, touch=False)
+            if line is not None:
+                line.dirty = False
+        return event
+
+    def _scratch_write(self, addr: int) -> MemoryEvent:
+        """A non-durable store: dirty in L1, written back on eviction."""
+        hit_level = self._probe(addr)
+        if hit_level is not None:
+            self.stats.add("cpu.write_hits")
+        else:
+            self.stats.add("cpu.write_misses")
+        event = MemoryEvent(hit_level=hit_level)
+        if hit_level is None:
+            event.fills = 1
+            upto = self.num_levels
+        else:
+            upto = hit_level
+        self._fill_through(addr, upto=upto, dirty=False, event=event)
+        line = self._levels[0].lookup(addr, touch=False)
+        assert line is not None
+        line.dirty = True
+        return event
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _probe(self, addr: int) -> Optional[int]:
+        for index, level in enumerate(self._levels):
+            if level.lookup(addr, touch=True) is not None:
+                return index
+        return None
+
+    def _fill_through(self, addr: int, upto: int, dirty: bool,
+                      event: Optional[MemoryEvent] = None) -> None:
+        """Install ``addr`` into levels [0, upto), evicting as needed."""
+        for index in range(min(upto, self.num_levels)):
+            level = self._levels[index]
+            if level.lookup(addr, touch=True) is not None:
+                continue
+            victim = level.victim_for(addr)
+            if victim is not None:
+                level.remove(victim.addr)
+                self._spill(index, victim.addr, victim.dirty, event)
+            level.insert(addr, dirty=dirty)
+
+    def _spill(self, from_level: int, addr: int, dirty: bool,
+               event: Optional[MemoryEvent]) -> None:
+        """Push an evicted line toward memory (write-back on dirty)."""
+        if not dirty:
+            return
+        next_index = from_level + 1
+        if next_index >= self.num_levels:
+            self.stats.add("cpu.llc_writebacks")
+            if event is not None:
+                event.writebacks.append(addr)
+            return
+        level = self._levels[next_index]
+        line = level.lookup(addr, touch=False)
+        if line is not None:
+            line.dirty = True
+            return
+        victim = level.victim_for(addr)
+        if victim is not None:
+            level.remove(victim.addr)
+            self._spill(next_index, victim.addr, victim.dirty, event)
+        level.insert(addr, dirty=True)
+
+    def drop(self) -> None:
+        """Lose all cached state (a crash)."""
+        for level in self._levels:
+            level.clear()

@@ -1,0 +1,87 @@
+"""Physical layout of the secure NVM (data, metadata, recovery area).
+
+Combines the system configuration with the SIT geometry to answer the
+"how big is everything" questions of the paper: how many counter blocks
+and SIT nodes a given capacity needs, how many bitmap lines cover them,
+how much NVM the recovery area consumes (1/512 of the metadata space,
+Section III-C) and how many index layers are required (Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import LINE_SIZE, SystemConfig
+from repro.tree.geometry import TreeGeometry
+
+
+def index_layer_counts(total_meta_lines: int, fanout: int) -> List[int]:
+    """Line counts of each bitmap-index layer, bottom (L1) first.
+
+    Layer 1 has one bit per metadata line; each higher layer has one bit
+    per line of the layer below, until a single line covers everything.
+    That single top line is held in an on-chip register (Section III-D).
+    """
+    counts = [-(-total_meta_lines // fanout)]
+    while counts[-1] > 1:
+        counts.append(-(-counts[-1] // fanout))
+    return counts
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Derived sizes for one configuration."""
+
+    config: SystemConfig
+    geometry: TreeGeometry
+
+    @classmethod
+    def from_config(cls, config: SystemConfig) -> "MemoryLayout":
+        return cls(config, TreeGeometry(config.num_data_lines))
+
+    @property
+    def num_data_lines(self) -> int:
+        return self.geometry.num_data_lines
+
+    @property
+    def total_meta_lines(self) -> int:
+        return self.geometry.total_nodes
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.total_meta_lines * LINE_SIZE
+
+    @property
+    def index_layers(self) -> List[int]:
+        return index_layer_counts(
+            self.total_meta_lines, self.config.star.bitmap_fanout
+        )
+
+    @property
+    def num_index_layers(self) -> int:
+        return len(self.index_layers)
+
+    @property
+    def recovery_area_lines(self) -> int:
+        """NVM lines consumed by spilled bitmap lines (all layers)."""
+        return sum(self.index_layers)
+
+    @property
+    def recovery_area_bytes(self) -> int:
+        return self.recovery_area_lines * LINE_SIZE
+
+    def summary(self) -> Dict[str, object]:
+        """A report of the layout (the reproduction's Table I companion)."""
+        return {
+            "memory_bytes": self.config.memory_bytes,
+            "data_lines": self.num_data_lines,
+            "sit_levels": self.geometry.num_levels,
+            "level_counts": list(self.geometry.level_counts),
+            "metadata_lines": self.total_meta_lines,
+            "metadata_bytes": self.metadata_bytes,
+            "index_layers": self.index_layers,
+            "recovery_area_bytes": self.recovery_area_bytes,
+            "metadata_cache_bytes": self.config.metadata_cache.size_bytes,
+            "adr_bitmap_lines": self.config.star.adr_bitmap_lines,
+        }

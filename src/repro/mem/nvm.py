@@ -1,0 +1,187 @@
+"""The non-volatile memory device model.
+
+A sparse line store with four regions, mirroring the paper's layout:
+
+* **data** — user-data lines (ciphertext + MAC side-band, Synergy-style).
+* **meta** — security metadata lines (counter blocks + SIT nodes), indexed
+  by the flat metadata index of :class:`~repro.tree.geometry.TreeGeometry`.
+* **ra** — the Recovery Area holding spilled bitmap lines (Section III-C).
+* **st** — the Anubis shadow table region (only used by that baseline).
+
+Every read/write bumps a named stat counter; the energy and write-traffic
+results (Figs. 11 and 13) are computed from these counters. ``tamper_*``
+methods mutate lines *without* touching the counters — they model an
+attacker with physical access to the DIMM and are used by the attack
+tests (Section III-E/F).
+
+Untouched lines read back as their "shredded" zero state: a fresh secure
+NVM is assumed to be initialized with zero counters (Silent Shredder);
+reads of never-written lines are flagged so the integrity machinery can
+skip MAC checks that would otherwise need a bootstrapping pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.tree.node import DataLineImage, NodeImage
+from repro.util.stats import Stats
+
+BitmapLineKey = Tuple[int, int]
+"""(layer, index) of a bitmap line in the multi-layer index."""
+
+
+class NVM:
+    """Sparse, stat-counting non-volatile line store."""
+
+    def __init__(self, stats: Optional[Stats] = None) -> None:
+        self.stats = stats if stats is not None else Stats()
+        self._data: Dict[int, DataLineImage] = {}
+        self._meta: Dict[int, NodeImage] = {}
+        self._ra: Dict[BitmapLineKey, int] = {}
+        self._st: Dict[int, object] = {}
+        self.wear: Dict[Tuple[str, object], int] = {}
+        """Per-line write counts, keyed by (region, line key) — the
+        input to the endurance model (PCM cells wear out after 1e7-1e9
+        writes; limited endurance is the paper's core motivation)."""
+        self.trace: Optional[list] = None
+        """When set to a list, every access appends
+        ``(op, region, key)`` — the address feed for the bank-level
+        device timing model."""
+
+    def _note(self, op: str, region: str, key) -> None:
+        if self.trace is not None:
+            self.trace.append((op, region, key))
+
+    def _wear_out(self, region: str, key) -> None:
+        wear_key = (region, key)
+        self.wear[wear_key] = self.wear.get(wear_key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # user data region
+    # ------------------------------------------------------------------
+    def read_data(self, line: int) -> Optional[DataLineImage]:
+        """Read a data line; ``None`` when it was never written."""
+        self.stats.add("nvm.data_reads")
+        self._note("r", "data", line)
+        return self._data.get(line)
+
+    def write_data(self, line: int, image: DataLineImage) -> None:
+        self.stats.add("nvm.data_writes")
+        self._note("w", "data", line)
+        self._wear_out("data", line)
+        self._data[line] = image
+
+    def peek_data(self, line: int) -> Optional[DataLineImage]:
+        """Read without counting traffic (test oracles, attackers)."""
+        return self._data.get(line)
+
+    # ------------------------------------------------------------------
+    # security metadata region
+    # ------------------------------------------------------------------
+    def read_meta(self, meta_index: int) -> Tuple[NodeImage, bool]:
+        """Read a metadata line; the flag is False for untouched lines."""
+        self.stats.add("nvm.meta_reads")
+        self._note("r", "meta", meta_index)
+        image = self._meta.get(meta_index)
+        if image is None:
+            return NodeImage.zero(), False
+        return image, True
+
+    def write_meta(self, meta_index: int, image: NodeImage) -> None:
+        self.stats.add("nvm.meta_writes")
+        self._note("w", "meta", meta_index)
+        self._wear_out("meta", meta_index)
+        self._meta[meta_index] = image
+
+    def flush_meta(self, meta_index: int, image: NodeImage) -> None:
+        """ADR battery flush of a queued metadata write at power
+        failure: durable, but not runtime traffic."""
+        self._meta[meta_index] = image
+
+    def peek_meta(self, meta_index: int) -> Optional[NodeImage]:
+        return self._meta.get(meta_index)
+
+    def meta_is_touched(self, meta_index: int) -> bool:
+        return meta_index in self._meta
+
+    # ------------------------------------------------------------------
+    # recovery area (spilled bitmap lines)
+    # ------------------------------------------------------------------
+    def read_ra(self, key: BitmapLineKey) -> int:
+        self.stats.add("nvm.ra_reads")
+        self._note("r", "ra", key)
+        return self._ra.get(key, 0)
+
+    def write_ra(self, key: BitmapLineKey, value: int) -> None:
+        self.stats.add("nvm.ra_writes")
+        self._note("w", "ra", key)
+        self._wear_out("ra", key)
+        self._ra[key] = value
+
+    def flush_ra(self, key: BitmapLineKey, value: int) -> None:
+        """ADR battery flush at power failure: not runtime traffic."""
+        self._ra[key] = value
+
+    def peek_ra(self, key: BitmapLineKey) -> int:
+        return self._ra.get(key, 0)
+
+    # ------------------------------------------------------------------
+    # Anubis shadow table region
+    # ------------------------------------------------------------------
+    def read_st(self, slot: int) -> Optional[object]:
+        self.stats.add("nvm.st_reads")
+        self._note("r", "st", slot)
+        return self._st.get(slot)
+
+    def write_st(self, slot: int, entry: object) -> None:
+        self.stats.add("nvm.st_writes")
+        self._note("w", "st", slot)
+        self._wear_out("st", slot)
+        self._st[slot] = entry
+
+    def clear_st(self, slot: int) -> None:
+        """Invalidate a shadow-table slot (tag reuse; not NVM traffic).
+
+        Models Anubis' slot tags becoming invalid when the shadowed cache
+        way is reassigned — the stale entry must not win over a newer one
+        during the recovery scan.
+        """
+        self._st.pop(slot, None)
+
+    def st_slots(self):
+        """All occupied shadow-table slots (recovery scan)."""
+        return sorted(self._st)
+
+    # ------------------------------------------------------------------
+    # attacker interface: mutate lines without touching stat counters
+    # ------------------------------------------------------------------
+    def tamper_data(self, line: int, image: DataLineImage) -> None:
+        self._data[line] = image
+
+    def tamper_meta(self, meta_index: int, image: NodeImage) -> None:
+        self._meta[meta_index] = image
+
+    def tamper_ra(self, key: BitmapLineKey, value: int) -> None:
+        self._ra[key] = value
+
+    # ------------------------------------------------------------------
+    # aggregate traffic
+    # ------------------------------------------------------------------
+    def total_writes(self) -> int:
+        """All NVM line writes, every region."""
+        return (
+            self.stats.get("nvm.data_writes")
+            + self.stats.get("nvm.meta_writes")
+            + self.stats.get("nvm.ra_writes")
+            + self.stats.get("nvm.st_writes")
+        )
+
+    def total_reads(self) -> int:
+        """All NVM line reads, every region."""
+        return (
+            self.stats.get("nvm.data_reads")
+            + self.stats.get("nvm.meta_reads")
+            + self.stats.get("nvm.ra_reads")
+            + self.stats.get("nvm.st_reads")
+        )

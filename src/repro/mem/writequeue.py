@@ -1,0 +1,72 @@
+"""The memory controller's write-pending queue (WPQ) timing model.
+
+PCM writes are slow (tWR = 300 ns). Writes are buffered in a bounded
+queue and drained one at a time by the device; the CPU only stalls when
+the queue is full or when a persist barrier must wait for the queue to
+drain. Persistence schemes that issue extra NVM writes (Anubis' shadow
+table, strict persistence's branch write-through) occupy drain bandwidth
+and therefore lengthen barrier stalls — this queue is what turns write
+amplification into the IPC differences of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class WritePendingQueue:
+    """A bounded write queue drained by ``ports`` parallel PCM banks."""
+
+    def __init__(self, capacity: int, service_ns: float,
+                 ports: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        if service_ns <= 0:
+            raise ValueError("service time must be positive")
+        if ports < 1:
+            raise ValueError("need at least one drain port")
+        self.capacity = capacity
+        self.service_ns = service_ns
+        self.ports = ports
+        self._port_free_ns = [0.0] * ports
+        self._completions: Deque[float] = deque()
+
+    def __len__(self) -> int:
+        return len(self._completions)
+
+    def _retire(self, now_ns: float) -> None:
+        while self._completions and self._completions[0] <= now_ns:
+            self._completions.popleft()
+
+    def enqueue(self, now_ns: float) -> Tuple[float, float]:
+        """Add one write at ``now_ns``.
+
+        Returns ``(stall_ns, completion_ns)``: the time the issuing core
+        must stall because the queue was full, and when this write will
+        be durable. Successive completions are non-decreasing because
+        writes always pick the earliest-free bank.
+        """
+        self._retire(now_ns)
+        stall_ns = 0.0
+        if len(self._completions) >= self.capacity:
+            stall_ns = self._completions[0] - now_ns
+            self._retire(now_ns + stall_ns)
+        issue_ns = now_ns + stall_ns
+        port = min(range(self.ports), key=self._port_free_ns.__getitem__)
+        start_ns = max(issue_ns, self._port_free_ns[port])
+        completion_ns = start_ns + self.service_ns
+        self._port_free_ns[port] = completion_ns
+        self._completions.append(completion_ns)
+        return stall_ns, completion_ns
+
+    def drain_time(self, now_ns: float) -> float:
+        """Stall needed at ``now_ns`` for the queue to empty (barrier)."""
+        self._retire(now_ns)
+        if not self._completions:
+            return 0.0
+        return self._completions[-1] - now_ns
+
+    def reset(self) -> None:
+        self._completions.clear()
+        self._port_free_ns = [0.0] * self.ports

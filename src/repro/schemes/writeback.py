@@ -1,0 +1,18 @@
+"""The write-back baseline (WB, Section IV-A).
+
+An ideal write-back metadata cache: only LRU evictions reach NVM and no
+extra persistence work is done. All evaluated numbers are normalized to
+this scheme. Because modified metadata can die in the cache, WB cannot
+recover after a crash — attempting to do so raises.
+"""
+
+from __future__ import annotations
+
+from repro.schemes.base import PersistenceScheme
+
+
+class WriteBackScheme(PersistenceScheme):
+    """No extra writes, no recovery: the performance baseline."""
+
+    name = "wb"
+    supports_sit_recovery = False

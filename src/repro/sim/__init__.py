@@ -1,0 +1,35 @@
+"""Simulator: controller, machine, timing/energy models, crash harness."""
+
+from repro.sim.controller import SecureMemoryController
+from repro.sim.crash import Attacker
+from repro.sim.endurance import WearReport, wear_report
+from repro.sim.energy import EnergyBreakdown, energy_from_stats
+from repro.sim.machine import Machine
+from repro.sim.projection import (
+    RecoveryProjection,
+    project,
+    project_anubis_seconds,
+    project_star_seconds,
+)
+from repro.sim.registers import OnChipRegisters
+from repro.sim.results import RunResult
+from repro.sim.timing import TimingModel
+from repro.sim.validate import audit_machine
+
+__all__ = [
+    "Attacker",
+    "EnergyBreakdown",
+    "Machine",
+    "OnChipRegisters",
+    "RecoveryProjection",
+    "RunResult",
+    "SecureMemoryController",
+    "TimingModel",
+    "WearReport",
+    "audit_machine",
+    "energy_from_stats",
+    "project",
+    "project_anubis_seconds",
+    "project_star_seconds",
+    "wear_report",
+]

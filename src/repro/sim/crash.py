@@ -1,0 +1,112 @@
+"""Attack injection for the recovery-verification experiments.
+
+The threat model (Section II-A) grants the attacker full physical access
+to the NVM between the crash and the end of recovery: they can tamper
+with or replay any line — stale node MSBs, child (data, MAC, LSB) tuples,
+bitmap lines in the recovery area. The cache-tree (Section III-E) must
+detect all of it.
+
+:class:`Attacker` wraps the NVM's stat-free tamper interface with the
+concrete attacks discussed in the paper, including the replay attack of
+Section III-E (substituting an *old but internally consistent* tuple,
+which plain MAC checking cannot catch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.mem.nvm import NVM, BitmapLineKey
+from repro.tree.node import DataLineImage, NodeImage
+
+
+class Attacker:
+    """Physical-access attacks on a (possibly crashed) NVM."""
+
+    def __init__(self, nvm: NVM) -> None:
+        self._nvm = nvm
+        self._data_snapshots: Dict[int, Optional[DataLineImage]] = {}
+        self._meta_snapshots: Dict[int, Optional[NodeImage]] = {}
+
+    # ------------------------------------------------------------------
+    # recording old tuples for later replay
+    # ------------------------------------------------------------------
+    def snapshot_data_line(self, line: int) -> None:
+        """Record the current (data, MAC, LSB) tuple of a line."""
+        self._data_snapshots[line] = self._nvm.peek_data(line)
+
+    def snapshot_meta_line(self, meta_index: int) -> None:
+        self._meta_snapshots[meta_index] = self._nvm.peek_meta(meta_index)
+
+    def replay_data_line(self, line: int) -> bool:
+        """Replay the recorded old tuple (Section III-E's attack).
+
+        Returns False when the snapshot equals the current content (the
+        replay would be a no-op and undetectable by definition).
+        """
+        if line not in self._data_snapshots:
+            raise KeyError("no snapshot recorded for data line %d" % line)
+        old = self._data_snapshots[line]
+        if old is None or old == self._nvm.peek_data(line):
+            return False
+        self._nvm.tamper_data(line, old)
+        return True
+
+    def replay_meta_line(self, meta_index: int) -> bool:
+        if meta_index not in self._meta_snapshots:
+            raise KeyError(
+                "no snapshot recorded for metadata line %d" % meta_index
+            )
+        old = self._meta_snapshots[meta_index]
+        if old is None or old == self._nvm.peek_meta(meta_index):
+            return False
+        self._nvm.tamper_meta(meta_index, old)
+        return True
+
+    # ------------------------------------------------------------------
+    # direct corruption
+    # ------------------------------------------------------------------
+    def corrupt_meta_counter(self, meta_index: int, slot: int,
+                             delta: int = 1) -> bool:
+        """Perturb one stale counter's MSBs in NVM."""
+        image = self._nvm.peek_meta(meta_index)
+        if image is None:
+            return False
+        counters = list(image.counters)
+        counters[slot] = max(0, counters[slot] + delta)
+        self._nvm.tamper_meta(
+            meta_index, replace(image, counters=tuple(counters))
+        )
+        return True
+
+    def corrupt_data_lsbs(self, line: int, flip: int = 1) -> bool:
+        """Flip bits in a data line's synergized LSB field."""
+        image = self._nvm.peek_data(line)
+        if image is None:
+            return False
+        self._nvm.tamper_data(line, replace(image, lsbs=image.lsbs ^ flip))
+        return True
+
+    def corrupt_data_mac(self, line: int, flip: int = 1) -> bool:
+        image = self._nvm.peek_data(line)
+        if image is None:
+            return False
+        self._nvm.tamper_data(line, replace(image, mac=image.mac ^ flip))
+        return True
+
+    def corrupt_meta_lsbs(self, meta_index: int, flip: int = 1) -> bool:
+        image = self._nvm.peek_meta(meta_index)
+        if image is None:
+            return False
+        self._nvm.tamper_meta(
+            meta_index, replace(image, lsbs=image.lsbs ^ flip)
+        )
+        return True
+
+    def corrupt_bitmap_line(self, key: BitmapLineKey,
+                            flip_bit: int = 0) -> None:
+        """Flip a bit of a recovery-area bitmap line (hide/fake a stale
+        location)."""
+        value = self._nvm.peek_ra(key)
+        self._nvm.tamper_ra(key, value ^ (1 << flip_bit))

@@ -1,0 +1,52 @@
+"""The NVM energy model (Fig. 13).
+
+PCM energy is dominated by its asymmetric cell access costs, so the model
+charges every NVM line read/write with the configured per-line energies
+and reports the scheme-induced differences. Results are reported
+normalized to the write-back baseline, exactly as in the paper, which
+makes the absolute per-line constants immaterial to the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import NVMTimings
+from repro.util.stats import Stats
+
+_READ_COUNTERS = (
+    "nvm.data_reads", "nvm.meta_reads", "nvm.ra_reads", "nvm.st_reads",
+)
+_WRITE_COUNTERS = (
+    "nvm.data_writes", "nvm.meta_writes", "nvm.ra_writes", "nvm.st_writes",
+)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy attributed to reads, writes and background, in nJ."""
+
+    read_nj: float
+    write_nj: float
+    static_nj: float = 0.0
+
+    @property
+    def total_nj(self) -> float:
+        return self.read_nj + self.write_nj + self.static_nj
+
+
+def energy_from_stats(stats: Stats, nvm: NVMTimings,
+                      elapsed_ns: float = 0.0) -> EnergyBreakdown:
+    """Compute the NVM energy of a run from its traffic counters.
+
+    ``elapsed_ns`` charges the device's background power for the run's
+    duration (1 W == 1 nJ/ns); schemes that also run *longer* therefore
+    pay for it, as they do under NVMain's background-energy accounting.
+    """
+    reads = sum(stats.get(name) for name in _READ_COUNTERS)
+    writes = sum(stats.get(name) for name in _WRITE_COUNTERS)
+    return EnergyBreakdown(
+        read_nj=reads * nvm.read_energy_nj,
+        write_nj=writes * nvm.write_energy_nj,
+        static_nj=elapsed_ns * nvm.static_power_w,
+    )

@@ -1,0 +1,256 @@
+"""The full simulated machine.
+
+Wires a workload trace through the CPU cache hierarchy into the secure
+memory controller, accumulates timing/energy, and implements the crash /
+recovery lifecycle:
+
+* :meth:`Machine.run` replays trace ops,
+* :meth:`Machine.crash` models a power failure: the cache-tree root is
+  latched into the on-chip register (in hardware it is maintained there
+  continuously), the scheme performs its ADR battery flush, all volatile
+  state is dropped, and an oracle snapshot of the dirty metadata is kept
+  for test verification,
+* :meth:`Machine.recover` invokes the scheme's recovery procedure with a
+  fresh stat namespace so recovery traffic is reported separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.config import SystemConfig
+from repro.errors import RecoveryError, VerificationError
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.nvm import NVM
+from repro.schemes.base import PersistenceScheme, RecoveryReport
+from repro.sim.controller import SecureMemoryController
+from repro.sim.energy import energy_from_stats
+from repro.sim.registers import OnChipRegisters
+from repro.sim.results import RunResult
+from repro.sim.timing import TimingModel
+from repro.util.stats import Stats
+from repro.workloads.trace import Op, OpKind
+
+
+class Machine:
+    """A secure-NVM system under one persistence scheme."""
+
+    def __init__(self, config: SystemConfig,
+                 scheme: Union[str, PersistenceScheme] = "star",
+                 registers: Optional[OnChipRegisters] = None,
+                 nvm: Optional[NVM] = None) -> None:
+        """``registers`` and ``nvm`` allow booting a machine on state
+        that survived a crash (the reboot-after-recovery scenario)."""
+        self.config = config
+        self.stats = Stats()
+        if nvm is None:
+            self.nvm = NVM(self.stats)
+        else:
+            self.nvm = nvm
+            self.nvm.stats = self.stats
+        self.registers = registers if registers is not None \
+            else OnChipRegisters()
+        if isinstance(scheme, str):
+            # imported here to break the schemes -> core -> sim cycle
+            from repro.schemes import make_scheme
+            scheme = make_scheme(scheme)
+        self.scheme = scheme
+        self.controller = SecureMemoryController(
+            config, self.nvm, scheme, self.registers, self.stats
+        )
+        levels = [
+            cache for cache in (config.l1, config.l2, config.llc)
+            if cache is not None
+        ]
+        self.hierarchy = CacheHierarchy(levels, self.stats)
+        device = None
+        if config.device_timing:
+            from repro.mem.device import PCMDevice
+
+            device = PCMDevice(
+                config.nvm, config.device_banks, config.device_row_lines
+            )
+            self._region_bases = self._build_region_bases()
+        self.timing = TimingModel(config.cpu, config.nvm, device=device)
+        self.crashed = False
+        self.pre_crash_dirty: Dict[int, Tuple[int, ...]] = {}
+        self._dirty_fraction_at_crash: Optional[float] = None
+
+    # ==================================================================
+    # running traces
+    # ==================================================================
+    def run(self, ops: Iterable[Op]) -> None:
+        """Replay a trace through the machine."""
+        for op in ops:
+            self.apply(op)
+
+    def apply(self, op: Op) -> None:
+        if self.crashed:
+            raise RecoveryError("machine has crashed; recover first")
+        self.timing.advance_instructions(op.instructions)
+        if op.kind is OpKind.PERSIST:
+            self.timing.persist_barrier()
+            return
+        if op.kind is OpKind.READ:
+            self._apply_read(op.addr)
+        else:
+            self._apply_write(op.addr, op.persistent)
+
+    def _apply_read(self, addr: int) -> None:
+        event = self.hierarchy.access(addr, is_write=False)
+        if event.hit_level is not None:
+            self.timing.cache_hit(event.hit_level)
+        else:
+            self._charged(self.controller.read_data, addr)
+        self._service_writebacks(event.writebacks)
+
+    def _apply_write(self, addr: int, persistent: bool) -> None:
+        event = self.hierarchy.access(
+            addr, is_write=True, persistent=persistent
+        )
+        if event.hit_level is not None:
+            self.timing.cache_hit(event.hit_level)
+        if event.fills:
+            self._charged(self.controller.read_data, addr)
+        for line in event.persists:
+            self._charged(self.controller.write_data, line)
+        self._service_writebacks(event.writebacks)
+
+    def _service_writebacks(self, lines) -> None:
+        for line in lines:
+            self._charged(self.controller.write_data, line)
+
+    def _charged(self, operation, addr: int) -> None:
+        """Run a controller operation and charge its NVM traffic."""
+        if self.timing.device is not None:
+            self._charged_via_device(operation, addr)
+            return
+        reads_before = self.nvm.total_reads()
+        writes_before = self.nvm.total_writes()
+        operation(addr)
+        self.timing.memory_reads(self.nvm.total_reads() - reads_before)
+        self.timing.memory_writes(self.nvm.total_writes() - writes_before)
+
+    # ------------------------------------------------------------------
+    # bank-level device timing (opt-in, config.device_timing)
+    # ------------------------------------------------------------------
+    def _charged_via_device(self, operation, addr: int) -> None:
+        """Route every NVM access's address through the PCM device."""
+        self.nvm.trace = []
+        try:
+            operation(addr)
+            events = self.nvm.trace
+        finally:
+            self.nvm.trace = None
+        for op, region, key in events:
+            line = self._physical_line(region, key)
+            if op == "r":
+                self.timing.device_read(line)
+            else:
+                self.timing.device_write(line)
+
+    def _build_region_bases(self):
+        """Disjoint physical ranges for the four NVM regions."""
+        layout = self.controller.layout
+        meta_base = layout.num_data_lines
+        ra_base = meta_base + layout.total_meta_lines
+        layer_offsets = [0]
+        for count in layout.index_layers:
+            layer_offsets.append(layer_offsets[-1] + count)
+        st_base = ra_base + layer_offsets[-1]
+        return {
+            "meta": meta_base,
+            "ra": ra_base,
+            "ra_layers": layer_offsets,
+            "st": st_base,
+        }
+
+    def _physical_line(self, region: str, key) -> int:
+        bases = self._region_bases
+        if region == "data":
+            return key
+        if region == "meta":
+            return bases["meta"] + key
+        if region == "ra":
+            layer, index = key
+            return bases["ra"] + bases["ra_layers"][layer - 1] + index
+        return bases["st"] + key
+
+    # ==================================================================
+    # crash / recovery lifecycle
+    # ==================================================================
+    def crash(self) -> None:
+        """Power failure: drop volatile state, keep NVM + registers.
+
+        The cache-tree root register is latched from the current dirty
+        cache population — in hardware it is maintained incrementally and
+        holds exactly this value at the instant of the crash.
+        """
+        if self.crashed:
+            raise RecoveryError("machine already crashed")
+        self.registers.cache_tree_root = (
+            self.controller.compute_cache_tree_root()
+        )
+        self.scheme.on_crash()
+        self.pre_crash_dirty = {
+            line.addr: tuple(line.payload.counters)
+            for line in self.controller.meta_cache.dirty_lines()
+        }
+        self._dirty_fraction_at_crash = self.controller.dirty_fraction()
+        self.controller.meta_cache.clear()
+        self.hierarchy.drop()
+        self.timing.wpq.reset()
+        self.crashed = True
+
+    def recover(self, raise_on_failure: bool = False) -> RecoveryReport:
+        """Run the scheme's recovery; traffic lands in a fresh Stats."""
+        if not self.crashed:
+            raise RecoveryError("recover called without a crash")
+        recovery_stats = Stats()
+        saved = self.nvm.stats
+        self.nvm.stats = recovery_stats
+        try:
+            report = self.scheme.recover(self)
+        finally:
+            self.nvm.stats = saved
+        self.recovery_stats = recovery_stats
+        self.crashed = False
+        if raise_on_failure and not report.verified:
+            raise VerificationError(
+                "recovery verification failed: attack detected"
+            )
+        return report
+
+    def oracle_check(self, report: RecoveryReport) -> bool:
+        """Did recovery restore every pre-crash dirty node exactly?"""
+        for line, counters in self.pre_crash_dirty.items():
+            if report.restored.get(line) != counters:
+                return False
+        return True
+
+    # ==================================================================
+    # results
+    # ==================================================================
+    def result(self, workload: str = "",
+               recovery: Optional[RecoveryReport] = None) -> RunResult:
+        energy = energy_from_stats(
+            self.stats, self.config.nvm, self.timing.now_ns
+        )
+        return RunResult(
+            scheme=self.scheme.name,
+            workload=workload,
+            stats=self.stats.snapshot(),
+            instructions=self.timing.instructions,
+            cycles=self.timing.cycles,
+            ipc=self.timing.ipc,
+            energy_read_nj=energy.read_nj,
+            energy_write_nj=energy.write_nj,
+            energy_static_nj=energy.static_nj,
+            dirty_fraction=(
+                self._dirty_fraction_at_crash
+                if self._dirty_fraction_at_crash is not None
+                else self.controller.dirty_fraction()
+            ),
+            adr_hit_ratio=self.stats.ratio("adr.hits", "adr.accesses"),
+            recovery=recovery,
+        )

@@ -1,0 +1,32 @@
+"""On-chip non-volatile registers (the only state that survives a crash
+besides the NVM itself, per the threat model of Section II-A).
+
+* ``sit_root`` — the SIT root node: eight counters whose children are the
+  top in-NVM tree level. Lazily updated (Section II-C).
+* ``cache_tree_root`` — the root of the cache-tree over dirty cached
+  metadata (Section III-E).
+* ``index_top_line`` — the single top-layer line of the multi-layer
+  bitmap index (Section III-D).
+"""
+
+from __future__ import annotations
+
+from repro.tree.node import CachedNode
+
+
+class OnChipRegisters:
+    """Non-volatile processor-side registers."""
+
+    __slots__ = ("sit_root", "cache_tree_root", "index_top_line")
+
+    def __init__(self) -> None:
+        self.sit_root: CachedNode = CachedNode.zero()
+        self.cache_tree_root: int = 0
+        self.index_top_line: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            "OnChipRegisters(root=%r, cache_tree_root=%#x, top_line=%#x)"
+            % (self.sit_root.counters, self.cache_tree_root,
+               self.index_top_line)
+        )

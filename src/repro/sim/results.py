@@ -1,0 +1,92 @@
+"""Run-result records shared by tests, examples and the bench harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.schemes.base import RecoveryReport
+
+
+@dataclass
+class RunResult:
+    """Everything one simulated run produced."""
+
+    scheme: str
+    workload: str
+    stats: Dict[str, int]
+    instructions: int = 0
+    cycles: float = 0.0
+    ipc: float = 0.0
+    energy_read_nj: float = 0.0
+    energy_write_nj: float = 0.0
+    energy_static_nj: float = 0.0
+    dirty_fraction: float = 0.0
+    adr_hit_ratio: float = 0.0
+    recovery: Optional[RecoveryReport] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # derived traffic metrics (the quantities of Figs. 10/11)
+    # ------------------------------------------------------------------
+    @property
+    def nvm_writes(self) -> int:
+        """All NVM line writes, every region."""
+        return (
+            self.stats.get("nvm.data_writes", 0)
+            + self.stats.get("nvm.meta_writes", 0)
+            + self.stats.get("nvm.ra_writes", 0)
+            + self.stats.get("nvm.st_writes", 0)
+        )
+
+    @property
+    def nvm_reads(self) -> int:
+        return (
+            self.stats.get("nvm.data_reads", 0)
+            + self.stats.get("nvm.meta_reads", 0)
+            + self.stats.get("nvm.ra_reads", 0)
+            + self.stats.get("nvm.st_reads", 0)
+        )
+
+    @property
+    def baseline_writes(self) -> int:
+        """Data + metadata writes: what the WB scheme would count."""
+        return (
+            self.stats.get("nvm.data_writes", 0)
+            + self.stats.get("nvm.meta_writes", 0)
+        )
+
+    @property
+    def bitmap_writes(self) -> int:
+        """Recovery-area spills (STAR's only extra write traffic)."""
+        return self.stats.get("nvm.ra_writes", 0)
+
+    @property
+    def st_writes(self) -> int:
+        """Shadow-table writes (Anubis' extra write traffic)."""
+        return self.stats.get("nvm.st_writes", 0)
+
+    @property
+    def energy_nj(self) -> float:
+        return (
+            self.energy_read_nj + self.energy_write_nj
+            + self.energy_static_nj
+        )
+
+    def normalized_writes(self, baseline: "RunResult") -> float:
+        """Write traffic relative to a baseline run (Fig. 11 y-axis)."""
+        if baseline.nvm_writes == 0:
+            return 0.0
+        return self.nvm_writes / baseline.nvm_writes
+
+    def normalized_ipc(self, baseline: "RunResult") -> float:
+        """IPC relative to a baseline run (Fig. 12 y-axis)."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def normalized_energy(self, baseline: "RunResult") -> float:
+        """Energy relative to a baseline run (Fig. 13 y-axis)."""
+        if baseline.energy_nj == 0:
+            return 0.0
+        return self.energy_nj / baseline.energy_nj

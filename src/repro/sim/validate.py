@@ -1,0 +1,109 @@
+"""Machine-state consistency auditing.
+
+A debugging and testing aid: walks a live machine and checks the
+cross-component invariants that the design relies on. Returns a list of
+human-readable violations (empty = consistent), so tests can assert
+emptiness and interactive users can print the findings.
+
+Checked invariants:
+
+* **persisted-counter mirror** — every cached node's
+  ``persisted_counters`` equals its NVM image (or zero for untouched
+  lines);
+* **drift bound** — no cached counter has drifted ``2^10`` or more
+  increments from its persisted value (the counter-MAC synergization
+  guarantee, Section III-B);
+* **dirty consistency** — clean cached nodes equal their NVM images;
+  dirty ones differ (or have never been persisted);
+* **bitmap mirror** (STAR) — the stale bitmap equals the dirty-bit
+  population of the metadata cache;
+* **NVM image authenticity** — every touched metadata line's MAC
+  verifies against its parent's live counter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.synergy import LSB_SPAN
+
+
+def audit_machine(machine) -> List[str]:
+    """Run every applicable invariant check; return violations."""
+    violations: List[str] = []
+    violations.extend(_check_cached_nodes(machine))
+    violations.extend(_check_nvm_images(machine))
+    if hasattr(machine.scheme, "bitmap"):
+        violations.extend(_check_bitmap(machine))
+    return violations
+
+
+def _check_cached_nodes(machine) -> List[str]:
+    violations: List[str] = []
+    controller = machine.controller
+    for line in controller.meta_cache.lines():
+        node = line.payload
+        image = machine.nvm.peek_meta(line.addr)
+        persisted = (
+            tuple(image.counters) if image is not None else (0,) * 8
+        )
+        if tuple(node.persisted_counters) != persisted:
+            violations.append(
+                "node %d: persisted-counter mirror diverged from NVM"
+                % line.addr
+            )
+        if node.max_drift() >= LSB_SPAN:
+            violations.append(
+                "node %d: counter drift %d breaches the LSB span"
+                % (line.addr, node.max_drift())
+            )
+        matches_nvm = tuple(node.counters) == persisted
+        if line.dirty and matches_nvm:
+            violations.append(
+                "node %d: dirty but identical to its NVM image"
+                % line.addr
+            )
+        if not line.dirty and not matches_nvm:
+            violations.append(
+                "node %d: clean but differs from its NVM image"
+                % line.addr
+            )
+    return violations
+
+
+def _check_nvm_images(machine) -> List[str]:
+    violations: List[str] = []
+    controller = machine.controller
+    geometry = controller.geometry
+    for line in sorted(machine.nvm._meta):
+        image = machine.nvm.peek_meta(line)
+        node_id = geometry.node_at(line)
+        # a parent counter moves only when *this* node persists, and
+        # each persist rewrites the image — so every NVM image verifies
+        # against the live parent counter at all times
+        parent_counter = controller._peek_parent_counter(node_id)
+        if not controller.auth.verify_node_image(
+            node_id, image, parent_counter
+        ):
+            violations.append(
+                "metadata line %d: NVM image fails verification "
+                "against the live parent counter" % line
+            )
+    return violations
+
+
+def _check_bitmap(machine) -> List[str]:
+    violations: List[str] = []
+    bitmap = machine.scheme.bitmap
+    dirty = {
+        line.addr for line in machine.controller.meta_cache.dirty_lines()
+    }
+    for line in machine.controller.meta_cache.lines():
+        stale = bitmap.is_stale(line.addr)
+        if stale != (line.addr in dirty):
+            violations.append(
+                "bitmap bit for line %d is %s but the cache line is %s"
+                % (line.addr, stale, "dirty" if line.addr in dirty
+                   else "clean")
+            )
+    return violations

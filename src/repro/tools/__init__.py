@@ -1,0 +1,5 @@
+"""Command-line tools: ``star-run`` and ``star-trace``.
+
+(The evaluation-reproduction CLI ``star-bench`` lives in
+:mod:`repro.bench.cli`.)
+"""

@@ -1,0 +1,110 @@
+"""``star-compare``: diff two ``star-bench --json`` result dumps.
+
+Reproduction hygiene: before accepting a change that touches the
+simulator, rerun the suite and compare against the archived baseline::
+
+    star-bench --json before.json
+    ...change...
+    star-bench --json after.json
+    star-compare before.json after.json --tolerance 0.02
+
+Exit status 0 means every shared numeric cell agrees within the
+relative tolerance; 1 lists the drifted cells. New/removed experiments
+or rows are reported but are not failures by themselves (use
+``--strict`` to make them so).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+
+def load_results(path: str) -> Dict[str, dict]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {entry["experiment"]: entry for entry in payload}
+
+
+def _row_key(row: dict, columns: List[str]) -> str:
+    return str(row.get(columns[0], "?")) if columns else "?"
+
+
+def _numeric(value) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def compare_results(before: Dict[str, dict], after: Dict[str, dict],
+                    tolerance: float) -> Tuple[List[str], List[str]]:
+    """Returns (drifts, structural notes)."""
+    drifts: List[str] = []
+    notes: List[str] = []
+    for name in sorted(set(before) | set(after)):
+        if name not in before:
+            notes.append("experiment %s only in the new results" % name)
+            continue
+        if name not in after:
+            notes.append("experiment %s disappeared" % name)
+            continue
+        old, new = before[name], after[name]
+        columns = old.get("columns", [])
+        old_rows = {
+            _row_key(row, columns): row for row in old.get("rows", [])
+        }
+        new_rows = {
+            _row_key(row, columns): row for row in new.get("rows", [])
+        }
+        for key in sorted(set(old_rows) | set(new_rows)):
+            if key not in old_rows or key not in new_rows:
+                notes.append("%s: row %r only on one side" % (name, key))
+                continue
+            for column in columns:
+                old_value = _numeric(old_rows[key].get(column))
+                new_value = _numeric(new_rows[key].get(column))
+                if old_value is None or new_value is None:
+                    continue
+                scale = max(abs(old_value), abs(new_value), 1e-12)
+                if abs(new_value - old_value) / scale > tolerance:
+                    drifts.append(
+                        "%s [%s] %s: %.6g -> %.6g"
+                        % (name, key, column, old_value, new_value)
+                    )
+    return drifts, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="star-compare",
+        description="Diff two star-bench --json result dumps.",
+    )
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative tolerance (default 2%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="structural differences also fail")
+    args = parser.parse_args(argv)
+
+    drifts, notes = compare_results(
+        load_results(args.before), load_results(args.after),
+        args.tolerance,
+    )
+    for note in notes:
+        print("note:", note)
+    for drift in drifts:
+        print("DRIFT:", drift)
+    if not drifts and not (args.strict and notes):
+        print("results agree within %.1f%% tolerance"
+              % (args.tolerance * 100))
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""SIT node and line images.
+
+An SIT node (and a counter block — structurally identical, Section II-C)
+is one 64-byte line holding eight 56-bit counters plus a 64-bit MAC field.
+Under STAR the MAC field is split 54/10: a 54-bit MAC and the 10 LSBs of
+the *parent's* corresponding counter (counter-MAC synergization,
+Section III-B).
+
+Two representations exist:
+
+* :class:`NodeImage` — the immutable in-NVM image of a node (what a line
+  write persists).
+* :class:`CachedNode` — the mutable cached copy, which additionally tracks
+  the counter values as of the node's last persist so the controller can
+  detect 2^10-increment overflows and force a flush.
+
+User-data lines are modeled by :class:`DataLineImage`: ciphertext plus the
+Synergy-style MAC side-band (54-bit MAC + 10-bit LSBs) persisted in the
+same atomic line write (Section II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.config import (
+    COUNTER_BITS,
+    LSB_BITS,
+    MAC_BITS,
+    MAC_FIELD_BITS,
+    TREE_ARITY,
+)
+from repro.util.bitfield import check_width, pack_fields, unpack_fields
+
+
+def pack_mac_field(mac: int, lsbs: int) -> int:
+    """Combine a 54-bit MAC and 10-bit LSBs into the 64-bit MAC field."""
+    return pack_fields([(mac, MAC_BITS), (lsbs, LSB_BITS)])
+
+
+def unpack_mac_field(field: int) -> Tuple[int, int]:
+    """Split the 64-bit MAC field into (mac, lsbs)."""
+    check_width(field, MAC_FIELD_BITS, "MAC field")
+    mac, lsbs = unpack_fields(field, [MAC_BITS, LSB_BITS])
+    return mac, lsbs
+
+
+@dataclass(frozen=True)
+class NodeImage:
+    """Immutable 64-byte image of a metadata node as stored in NVM."""
+
+    counters: Tuple[int, ...]
+    mac: int
+    lsbs: int
+
+    def __post_init__(self) -> None:
+        if len(self.counters) != TREE_ARITY:
+            raise ValueError(
+                "a node holds exactly %d counters" % TREE_ARITY
+            )
+        for counter in self.counters:
+            check_width(counter, COUNTER_BITS, "counter")
+        check_width(self.mac, MAC_BITS, "mac")
+        check_width(self.lsbs, LSB_BITS, "lsbs")
+
+    @classmethod
+    def zero(cls) -> "NodeImage":
+        """The image of an untouched (freshly shredded) node."""
+        return cls(counters=(0,) * TREE_ARITY, mac=0, lsbs=0)
+
+    @property
+    def mac_field(self) -> int:
+        return pack_mac_field(self.mac, self.lsbs)
+
+    def with_lsbs(self, lsbs: int) -> "NodeImage":
+        return NodeImage(self.counters, self.mac, lsbs)
+
+
+@dataclass(frozen=True)
+class DataLineImage:
+    """Immutable image of a user-data line: ciphertext + MAC side-band."""
+
+    ciphertext: bytes
+    mac: int
+    lsbs: int
+
+    def __post_init__(self) -> None:
+        check_width(self.mac, MAC_BITS, "mac")
+        check_width(self.lsbs, LSB_BITS, "lsbs")
+
+    @property
+    def mac_field(self) -> int:
+        return pack_mac_field(self.mac, self.lsbs)
+
+
+class CachedNode:
+    """Mutable cached copy of a metadata node.
+
+    ``persisted_counters`` mirrors the counter values currently stored in
+    the node's NVM image. The difference between a live counter and its
+    persisted value is the quantity that must fit into the 10 spare MAC
+    bits of the corresponding child line; the controller force-flushes the
+    node before any counter drifts 2^10 increments away (Section III-B).
+    """
+
+    __slots__ = ("counters", "persisted_counters")
+
+    def __init__(self, counters: Tuple[int, ...]) -> None:
+        if len(counters) != TREE_ARITY:
+            raise ValueError("a node holds exactly %d counters" % TREE_ARITY)
+        self.counters: List[int] = list(counters)
+        self.persisted_counters: List[int] = list(counters)
+
+    @classmethod
+    def from_image(cls, image: NodeImage) -> "CachedNode":
+        return cls(tuple(image.counters))
+
+    @classmethod
+    def zero(cls) -> "CachedNode":
+        return cls((0,) * TREE_ARITY)
+
+    def increment(self, slot: int) -> int:
+        """Bump the counter for ``slot``; returns the new value."""
+        if not 0 <= slot < TREE_ARITY:
+            raise ValueError("slot %d out of range" % slot)
+        self.counters[slot] += 1
+        check_width(self.counters[slot], COUNTER_BITS, "counter")
+        return self.counters[slot]
+
+    def drift(self, slot: int) -> int:
+        """Increments of ``slot`` since this node was last persisted."""
+        return self.counters[slot] - self.persisted_counters[slot]
+
+    def max_drift(self) -> int:
+        """The largest per-counter drift (force-flush trigger)."""
+        return max(
+            live - persisted
+            for live, persisted in zip(self.counters, self.persisted_counters)
+        )
+
+    def mark_persisted(self) -> None:
+        """Record that the current counters now match the NVM image."""
+        self.persisted_counters = list(self.counters)
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self.counters)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CachedNode):
+            return NotImplemented
+        return self.counters == other.counters
+
+    def __repr__(self) -> str:
+        return "CachedNode(counters=%r)" % (self.counters,)

@@ -1,0 +1,91 @@
+"""SGX-integrity-tree authentication (Section II-C / III-B).
+
+The MAC of an SIT node hashes the node's address, its own eight counters
+and *one corresponding counter in its parent node* — this is what makes
+SIT impossible to rebuild from its leaves, and what STAR exploits: the
+only cache-resident modification caused by persisting a node is a single
+counter increment in its parent.
+
+Under STAR the persisted line additionally carries the 10 LSBs of that
+parent counter in the spare MAC bits, and the MAC covers those LSBs so
+they cannot be tampered with independently (Section III-B).
+
+This module is pure policy — given identities, counters and parent
+counters it mints and checks :class:`NodeImage`/:class:`DataLineImage`
+values. The controller owns all state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import LSB_BITS
+from repro.crypto.hashing import mac54
+from repro.tree.geometry import NodeId
+from repro.tree.node import DataLineImage, NodeImage
+from repro.util.bitfield import mask
+
+_LSB_MASK = mask(LSB_BITS)
+
+
+class SITAuthenticator:
+    """Mints and verifies SIT node and user-data MACs under one key."""
+
+    def __init__(self, key: bytes) -> None:
+        self._key = key
+
+    # ------------------------------------------------------------------
+    # metadata nodes (counter blocks and SIT nodes share one structure)
+    # ------------------------------------------------------------------
+    def node_mac(self, node: NodeId, counters: Sequence[int],
+                 parent_counter: int, lsbs: int) -> int:
+        """MAC = H(address, own counters, parent counter, stored LSBs)."""
+        level, index = node
+        return mac54(
+            self._key, "sit-node", level, index,
+            *counters, parent_counter, lsbs,
+        )
+
+    def make_node_image(self, node: NodeId, counters: Sequence[int],
+                        parent_counter: int) -> NodeImage:
+        """The line image persisted when ``node`` is written to NVM.
+
+        The stored LSBs are the low bits of the parent's corresponding
+        counter — the counter-MAC synergization payload.
+        """
+        lsbs = parent_counter & _LSB_MASK
+        mac = self.node_mac(node, counters, parent_counter, lsbs)
+        return NodeImage(counters=tuple(counters), mac=mac, lsbs=lsbs)
+
+    def verify_node_image(self, node: NodeId, image: NodeImage,
+                          parent_counter: int) -> bool:
+        """Check a fetched node against the parent's current counter."""
+        expected = self.node_mac(
+            node, image.counters, parent_counter, image.lsbs
+        )
+        return expected == image.mac
+
+    # ------------------------------------------------------------------
+    # user-data lines (children of the counter blocks)
+    # ------------------------------------------------------------------
+    def data_mac(self, address: int, ciphertext: bytes,
+                 counter: int, lsbs: int) -> int:
+        """MAC = H(content, address, encryption counter, stored LSBs)."""
+        return mac54(
+            self._key, "sit-data", address, ciphertext, counter, lsbs,
+        )
+
+    def make_data_image(self, address: int, ciphertext: bytes,
+                        counter: int) -> DataLineImage:
+        """The data line + Synergy MAC side-band written in one access."""
+        lsbs = counter & _LSB_MASK
+        mac = self.data_mac(address, ciphertext, counter, lsbs)
+        return DataLineImage(ciphertext=ciphertext, mac=mac, lsbs=lsbs)
+
+    def verify_data_image(self, address: int, image: DataLineImage,
+                          counter: int) -> bool:
+        """Check a fetched data line against its encryption counter."""
+        expected = self.data_mac(
+            address, image.ciphertext, counter, image.lsbs
+        )
+        return expected == image.mac

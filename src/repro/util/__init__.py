@@ -1,0 +1,31 @@
+"""Small reusable utilities: bit packing, LRU container, stat counters."""
+
+from repro.util.bitfield import (
+    check_width,
+    clear_bit,
+    iter_set_bits,
+    mask,
+    pack_fields,
+    popcount,
+    set_bit,
+    test_bit,
+    truncate,
+    unpack_fields,
+)
+from repro.util.lru import LRUCache
+from repro.util.stats import Stats
+
+__all__ = [
+    "LRUCache",
+    "Stats",
+    "check_width",
+    "clear_bit",
+    "iter_set_bits",
+    "mask",
+    "pack_fields",
+    "popcount",
+    "set_bit",
+    "test_bit",
+    "truncate",
+    "unpack_fields",
+]

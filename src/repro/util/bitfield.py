@@ -1,0 +1,100 @@
+"""Bit-level packing helpers.
+
+Security metadata in the paper is specified at bit granularity: 56-bit
+counters, 54-bit MACs, 10-bit counter LSBs, 512-bit bitmap lines. These
+helpers keep that packing logic in one place and make it easy to property
+test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+def mask(nbits: int) -> int:
+    """Return an integer with the ``nbits`` low bits set."""
+    if nbits < 0:
+        raise ValueError("bit width must be non-negative, got %d" % nbits)
+    return (1 << nbits) - 1
+
+
+def truncate(value: int, nbits: int) -> int:
+    """Keep only the low ``nbits`` bits of ``value``."""
+    return value & mask(nbits)
+
+
+def check_width(value: int, nbits: int, name: str = "value") -> int:
+    """Validate that ``value`` fits in ``nbits`` bits and return it."""
+    if value < 0:
+        raise ValueError("%s must be non-negative, got %d" % (name, value))
+    if value > mask(nbits):
+        raise ValueError(
+            "%s does not fit in %d bits: %d" % (name, nbits, value)
+        )
+    return value
+
+
+def pack_fields(fields: Iterable[tuple]) -> int:
+    """Pack ``(value, width)`` pairs into one integer, first pair highest.
+
+    >>> hex(pack_fields([(0xA, 4), (0xB, 4)]))
+    '0xab'
+    """
+    packed = 0
+    for value, width in fields:
+        check_width(value, width)
+        packed = (packed << width) | value
+    return packed
+
+
+def unpack_fields(packed: int, widths: Iterable[int]) -> List[int]:
+    """Inverse of :func:`pack_fields` for the given widths."""
+    widths = list(widths)
+    values = [0] * len(widths)
+    for i in range(len(widths) - 1, -1, -1):
+        width = widths[i]
+        values[i] = packed & mask(width)
+        packed >>= width
+    if packed:
+        raise ValueError("packed value wider than the supplied widths")
+    return values
+
+
+def set_bit(word: int, bit: int) -> int:
+    """Return ``word`` with bit index ``bit`` set."""
+    return word | (1 << bit)
+
+
+def clear_bit(word: int, bit: int) -> int:
+    """Return ``word`` with bit index ``bit`` cleared."""
+    return word & ~(1 << bit)
+
+
+def test_bit(word: int, bit: int) -> bool:
+    """Return True when bit index ``bit`` of ``word`` is set."""
+    return bool((word >> bit) & 1)
+
+
+def iter_set_bits(word: int) -> Iterator[int]:
+    """Yield the indices of set bits in ``word``, ascending."""
+    bit = 0
+    while word:
+        if word & 1:
+            yield bit
+        word >>= 1
+        bit += 1
+
+
+def popcount(word: int) -> int:
+    """Number of set bits in ``word``."""
+    return bin(word).count("1")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Interpret ``data`` as a big-endian unsigned integer."""
+    return int.from_bytes(data, "big")
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Serialize ``value`` as ``length`` big-endian bytes."""
+    return value.to_bytes(length, "big")

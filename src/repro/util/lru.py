@@ -1,0 +1,75 @@
+"""A small least-recently-used container.
+
+Used by the ADR bitmap-line manager (Section III-C) and as the replacement
+policy inside the set-associative cache model. Kept separate from the cache
+so it can be tested and reasoned about in isolation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping evicting the least recently used entry on overflow.
+
+    ``get``/``put`` refresh recency. ``put`` returns the evicted
+    ``(key, value)`` pair when the capacity bound forces an eviction, which
+    the bitmap-line manager uses to spill a line to the recovery area.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %d" % capacity)
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def get(self, key: K) -> V:
+        """Return the value for ``key`` and mark it most recently used."""
+        value = self._entries[key]
+        self._entries.move_to_end(key)
+        return value
+
+    def peek(self, key: K) -> V:
+        """Return the value for ``key`` without refreshing recency."""
+        return self._entries[key]
+
+    def put(self, key: K, value: V) -> Optional[Tuple[K, V]]:
+        """Insert or update ``key``; return the evicted pair, if any."""
+        if key in self._entries:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            return None
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            return self._entries.popitem(last=False)
+        return None
+
+    def pop(self, key: K) -> V:
+        """Remove and return the value for ``key``."""
+        return self._entries.pop(key)
+
+    def pop_lru(self) -> Tuple[K, V]:
+        """Remove and return the least recently used pair."""
+        return self._entries.popitem(last=False)
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Iterate ``(key, value)`` pairs from least to most recent."""
+        return iter(self._entries.items())
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()

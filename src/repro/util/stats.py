@@ -1,0 +1,57 @@
+"""Named integer counters shared by every component of the simulator.
+
+A single :class:`Stats` instance is threaded through the NVM model, the
+metadata cache, the persistence scheme and the timing model, so that every
+experiment can read one flat namespace of counters (write traffic, bitmap
+line hits, recovery reads, ...).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Stats:
+    """A flat namespace of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counters.items()))
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self._counters)
+
+    def merge(self, other: "Stats") -> None:
+        """Add all counters of ``other`` into this instance."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator``, 0.0 when the denominator is zero."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counters.clear()
+
+    def __repr__(self) -> str:
+        parts = ", ".join("%s=%d" % kv for kv in self)
+        return "Stats(%s)" % parts

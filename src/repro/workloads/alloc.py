@@ -1,0 +1,45 @@
+"""A bump allocator over the simulated persistent address space.
+
+Workloads lay their data structures out in line-granular regions of the
+NVM data space, exactly like a persistent heap would. Allocation is
+deliberately simple (regions are never freed during a run) — what matters
+for the evaluation is the *reference pattern* over the allocated lines.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+
+
+class PersistentHeap:
+    """Line-granular bump allocation over ``[0, num_lines)``."""
+
+    def __init__(self, num_lines: int, base: int = 0) -> None:
+        if num_lines < 1:
+            raise ValueError("heap must contain at least one line")
+        if base < 0:
+            raise ValueError("heap base must be non-negative")
+        self.base = base
+        self.limit = base + num_lines
+        self._next = base
+
+    def alloc(self, lines: int) -> int:
+        """Reserve ``lines`` consecutive lines; returns the first."""
+        if lines < 1:
+            raise ValueError("allocation must cover at least one line")
+        if self._next + lines > self.limit:
+            raise AllocationError(
+                "persistent heap exhausted: %d lines requested, %d free"
+                % (lines, self.limit - self._next)
+            )
+        start = self._next
+        self._next += lines
+        return start
+
+    @property
+    def used(self) -> int:
+        return self._next - self.base
+
+    @property
+    def free(self) -> int:
+        return self.limit - self._next

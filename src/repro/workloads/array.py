@@ -1,0 +1,48 @@
+"""The ``array`` micro-benchmark.
+
+A persistent array updated in place: a mix of sequential sweeps (high
+spatial locality — neighbouring lines share a counter block) and random
+updates. Every update is a read-modify-write followed by a persist
+barrier, the standard persistent-array pattern of the micro-benchmark
+suites the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import Workload
+from repro.workloads.trace import Op
+
+
+class ArrayWorkload(Workload):
+    """Read-modify-write-persist over a persistent array."""
+
+    name = "array"
+
+    def __init__(self, num_data_lines: int, operations: int = 2000,
+                 seed: int = 42, array_lines: int = 0,
+                 sequential_fraction: float = 0.5) -> None:
+        super().__init__(num_data_lines, operations, seed)
+        if not 0.0 <= sequential_fraction <= 1.0:
+            raise ValueError("sequential fraction must be in [0, 1]")
+        if array_lines <= 0:
+            array_lines = max(64, min(num_data_lines // 2, 8192))
+        self.array_lines = array_lines
+        self.sequential_fraction = sequential_fraction
+        self.base = self.heap.alloc(array_lines)
+        self._cursor = 0
+
+    def _next_index(self) -> int:
+        if self.rng.random() < self.sequential_fraction:
+            index = self._cursor
+            self._cursor = (self._cursor + 1) % self.array_lines
+            return index
+        return self.rng.randrange(self.array_lines)
+
+    def ops(self) -> Iterator[Op]:
+        for _ in range(self.operations):
+            line = self.base + self._next_index()
+            yield self._read(line)
+            yield self._write(line)
+            yield self._persist()

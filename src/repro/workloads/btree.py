@@ -1,0 +1,161 @@
+"""The ``btree`` micro-benchmark.
+
+A real B-tree (CLRS preemptive-split formulation, minimum degree 4, so a
+node's seven keys fit one 64-byte line) laid out in persistent lines.
+Inserting a key reads every node on the root-to-leaf path, splits full
+nodes on the way down (allocating and writing new lines) and persists at
+the end of the insert — the pattern persistent B-tree implementations
+exhibit: read-mostly traversals punctuated by bursts of writes at splits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.workloads.base import Workload
+from repro.workloads.trace import Op
+
+MIN_DEGREE = 4
+MAX_KEYS = 2 * MIN_DEGREE - 1
+
+
+class _Node:
+    """An in-simulation B-tree node pinned to one persistent line."""
+
+    __slots__ = ("line", "leaf", "keys", "children")
+
+    def __init__(self, line: int, leaf: bool) -> None:
+        self.line = line
+        self.leaf = leaf
+        self.keys: List[int] = []
+        self.children: List["_Node"] = []
+
+
+class BTreeWorkload(Workload):
+    """Random-key inserts (plus some lookups) into a persistent B-tree."""
+
+    name = "btree"
+
+    def __init__(self, num_data_lines: int, operations: int = 2000,
+                 seed: int = 42, lookup_fraction: float = 0.3,
+                 key_space: int = 1 << 30) -> None:
+        super().__init__(num_data_lines, operations, seed)
+        self.lookup_fraction = lookup_fraction
+        self.key_space = key_space
+        self.root = _Node(self.heap.alloc(1), leaf=True)
+        self.size = 0
+        self._emitted: List[Op] = []
+
+    # ------------------------------------------------------------------
+    # structural operations, emitting trace records as they touch lines
+    # ------------------------------------------------------------------
+    def _emit_read(self, node: _Node) -> None:
+        self._emitted.append(self._read(node.line))
+
+    def _emit_write(self, node: _Node) -> None:
+        self._emitted.append(self._write(node.line))
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        full = parent.children[index]
+        sibling = _Node(self.heap.alloc(1), leaf=full.leaf)
+        mid = full.keys[MIN_DEGREE - 1]
+        sibling.keys = full.keys[MIN_DEGREE:]
+        full.keys = full.keys[: MIN_DEGREE - 1]
+        if not full.leaf:
+            sibling.children = full.children[MIN_DEGREE:]
+            full.children = full.children[:MIN_DEGREE]
+        parent.children.insert(index + 1, sibling)
+        parent.keys.insert(index, mid)
+        self._emit_write(full)
+        self._emit_write(sibling)
+        self._emit_write(parent)
+
+    def insert(self, key: int) -> None:
+        root = self.root
+        if len(root.keys) == MAX_KEYS:
+            new_root = _Node(self.heap.alloc(1), leaf=False)
+            new_root.children.append(root)
+            self.root = new_root
+            self._emit_read(root)
+            self._split_child(new_root, 0)
+        self._insert_nonfull(self.root, key)
+        self.size += 1
+        self._emitted.append(self._persist())
+
+    def _insert_nonfull(self, node: _Node, key: int) -> None:
+        self._emit_read(node)
+        if node.leaf:
+            position = self._key_position(node, key)
+            node.keys.insert(position, key)
+            self._emit_write(node)
+            return
+        index = self._key_position(node, key)
+        child = node.children[index]
+        if len(child.keys) == MAX_KEYS:
+            self._emit_read(child)
+            self._split_child(node, index)
+            if key > node.keys[index]:
+                index += 1
+        self._insert_nonfull(node.children[index], key)
+
+    def lookup(self, key: int) -> bool:
+        node: Optional[_Node] = self.root
+        while node is not None:
+            self._emit_read(node)
+            index = self._key_position(node, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return True
+            node = None if node.leaf else node.children[index]
+        return False
+
+    @staticmethod
+    def _key_position(node: _Node, key: int) -> int:
+        position = 0
+        while position < len(node.keys) and key > node.keys[position]:
+            position += 1
+        return position
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by the tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        def walk(node: _Node, lower: Optional[int],
+                 upper: Optional[int], depth: int) -> int:
+            assert len(node.keys) <= MAX_KEYS
+            if node is not self.root:
+                assert len(node.keys) >= MIN_DEGREE - 1
+            assert node.keys == sorted(node.keys)
+            if lower is not None:
+                assert all(key > lower for key in node.keys)
+            if upper is not None:
+                assert all(key < upper for key in node.keys)
+            if node.leaf:
+                assert not node.children
+                return depth
+            assert len(node.children) == len(node.keys) + 1
+            depths = set()
+            bounds = [lower] + node.keys + [upper]
+            for index, child in enumerate(node.children):
+                depths.add(
+                    walk(child, bounds[index], bounds[index + 1], depth + 1)
+                )
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop()
+
+        walk(self.root, None, None, 0)
+
+    # ------------------------------------------------------------------
+    # the trace
+    # ------------------------------------------------------------------
+    def ops(self) -> Iterator[Op]:
+        inserted: List[int] = []
+        for _ in range(self.operations):
+            self._emitted = []
+            if inserted and self.rng.random() < self.lookup_fraction:
+                self.lookup(self.rng.choice(inserted))
+            else:
+                key = self.rng.randrange(self.key_space)
+                inserted.append(key)
+                self.insert(key)
+            yield from self._emitted
+        self._emitted = []

@@ -1,0 +1,104 @@
+"""Trace capture and replay.
+
+Workloads are deterministic generators, but research workflows often
+want the *same byte-identical trace* across machines, schemes and
+library versions — e.g. to archive the exact input of a published
+number. This module serializes traces to a line-oriented text format
+(one op per line, ``#`` comments allowed)::
+
+    # kind addr instructions [persistent]
+    R 4096 120
+    W 4097 85 p
+    W 4098 85 s
+    P 0 10
+
+``R``/``W``/``P`` are read/write/persist; writes carry ``p``
+(persistent, clwb-style) or ``s`` (scratch). Files ending in ``.gz``
+are transparently compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.workloads.trace import Op, OpKind
+
+_KIND_TO_CODE = {
+    OpKind.READ: "R",
+    OpKind.WRITE: "W",
+    OpKind.PERSIST: "P",
+}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+
+PathLike = Union[str, Path]
+
+
+def _open(path: PathLike, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def format_op(op: Op) -> str:
+    """One op as one trace-file line."""
+    code = _KIND_TO_CODE[op.kind]
+    line = "%s %d %d" % (code, op.addr, op.instructions)
+    if op.kind is OpKind.WRITE:
+        line += " p" if op.persistent else " s"
+    return line
+
+
+def parse_op(line: str) -> Op:
+    """Inverse of :func:`format_op`."""
+    parts = line.split()
+    if not 3 <= len(parts) <= 4:
+        raise ValueError("malformed trace line: %r" % line)
+    code = parts[0].upper()
+    if code not in _CODE_TO_KIND:
+        raise ValueError("unknown op code %r" % parts[0])
+    kind = _CODE_TO_KIND[code]
+    addr = int(parts[1])
+    instructions = int(parts[2])
+    persistent = True
+    if kind is OpKind.WRITE:
+        if len(parts) == 4:
+            flag = parts[3].lower()
+            if flag not in ("p", "s"):
+                raise ValueError("bad write flag %r" % parts[3])
+            persistent = flag == "p"
+    elif len(parts) == 4:
+        raise ValueError("only writes carry a persistence flag")
+    return Op(kind, addr, instructions, persistent)
+
+
+def save_trace(ops: Iterable[Op], path: PathLike,
+               header: str = "") -> int:
+    """Write a trace file; returns the number of ops written."""
+    count = 0
+    with _open(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write("# %s\n" % line)
+        for op in ops:
+            handle.write(format_op(op) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> Iterator[Op]:
+    """Stream ops back from a trace file."""
+    with _open(path, "r") as handle:
+        yield from read_trace(handle)
+
+
+def read_trace(handle: io.TextIOBase) -> Iterator[Op]:
+    """Parse ops from an open text stream."""
+    for raw in handle:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_op(line)

@@ -1,0 +1,59 @@
+"""The ``queue`` micro-benchmark.
+
+A persistent circular queue: a header line holds head/tail indices and a
+ring of data lines holds the payloads. Enqueues write the tail slot and
+the header; dequeues read the head slot and write the header; each
+operation commits with a persist barrier. The hot header line gives this
+workload the highest temporal locality of the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import Workload
+from repro.workloads.trace import Op
+
+
+class QueueWorkload(Workload):
+    """Enqueue/dequeue against a persistent ring buffer."""
+
+    name = "queue"
+
+    def __init__(self, num_data_lines: int, operations: int = 2000,
+                 seed: int = 42, ring_lines: int = 0,
+                 enqueue_fraction: float = 0.6) -> None:
+        super().__init__(num_data_lines, operations, seed)
+        if ring_lines <= 0:
+            ring_lines = max(64, min(num_data_lines // 4, 4096))
+        self.header = self.heap.alloc(1)
+        self.ring_base = self.heap.alloc(ring_lines)
+        self.ring_lines = ring_lines
+        self.enqueue_fraction = enqueue_fraction
+        self._head = 0
+        self._tail = 0
+        self._size = 0
+
+    def ops(self) -> Iterator[Op]:
+        for _ in range(self.operations):
+            enqueue = (
+                self._size == 0
+                or (self._size < self.ring_lines
+                    and self.rng.random() < self.enqueue_fraction)
+            )
+            if enqueue:
+                slot = self.ring_base + self._tail
+                self._tail = (self._tail + 1) % self.ring_lines
+                self._size += 1
+                yield self._read(self.header)
+                yield self._write(slot)
+                yield self._write(self.header)
+                yield self._persist()
+            else:
+                slot = self.ring_base + self._head
+                self._head = (self._head + 1) % self.ring_lines
+                self._size -= 1
+                yield self._read(self.header)
+                yield self._read(slot)
+                yield self._write(self.header)
+                yield self._persist()

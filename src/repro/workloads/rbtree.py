@@ -1,0 +1,232 @@
+"""The ``rbtree`` micro-benchmark.
+
+A real red-black tree (CLRS insertion with recolouring and rotations),
+one node per persistent line. An insert reads the search path, writes the
+new node and every node touched by the fix-up (recolourings ripple
+upward; rotations rewrite three pointer sets), then persists. Compared
+with the B-tree, writes are more scattered and the per-insert write count
+is more variable — matching the workload's character in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.workloads.base import Workload
+from repro.workloads.trace import Op
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("line", "key", "color", "left", "right", "parent")
+
+    def __init__(self, line: int, key: int) -> None:
+        self.line = line
+        self.key = key
+        self.color = RED
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.parent: Optional["_Node"] = None
+
+
+class RBTreeWorkload(Workload):
+    """Random-key inserts (plus lookups) into a red-black tree."""
+
+    name = "rbtree"
+
+    def __init__(self, num_data_lines: int, operations: int = 2000,
+                 seed: int = 42, lookup_fraction: float = 0.3,
+                 key_space: int = 1 << 30) -> None:
+        super().__init__(num_data_lines, operations, seed)
+        self.lookup_fraction = lookup_fraction
+        self.key_space = key_space
+        self.root: Optional[_Node] = None
+        self.size = 0
+        self._emitted: List[Op] = []
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+    def _emit_read(self, node: _Node) -> None:
+        self._emitted.append(self._read(node.line))
+
+    def _emit_write(self, node: _Node) -> None:
+        self._emitted.append(self._write(node.line))
+
+    # ------------------------------------------------------------------
+    # rotations (each rewrites the lines whose pointers change)
+    # ------------------------------------------------------------------
+    def _rotate_left(self, node: _Node) -> None:
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        if pivot.left is not None:
+            pivot.left.parent = node
+            self._emit_write(pivot.left)
+        pivot.parent = node.parent
+        if node.parent is None:
+            self.root = pivot
+        elif node is node.parent.left:
+            node.parent.left = pivot
+            self._emit_write(node.parent)
+        else:
+            node.parent.right = pivot
+            self._emit_write(node.parent)
+        pivot.left = node
+        node.parent = pivot
+        self._emit_write(node)
+        self._emit_write(pivot)
+
+    def _rotate_right(self, node: _Node) -> None:
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        if pivot.right is not None:
+            pivot.right.parent = node
+            self._emit_write(pivot.right)
+        pivot.parent = node.parent
+        if node.parent is None:
+            self.root = pivot
+        elif node is node.parent.right:
+            node.parent.right = pivot
+            self._emit_write(node.parent)
+        else:
+            node.parent.left = pivot
+            self._emit_write(node.parent)
+        pivot.right = node
+        node.parent = pivot
+        self._emit_write(node)
+        self._emit_write(pivot)
+
+    # ------------------------------------------------------------------
+    # insert + fix-up
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> None:
+        node = _Node(self.heap.alloc(1), key)
+        parent: Optional[_Node] = None
+        cursor = self.root
+        while cursor is not None:
+            self._emit_read(cursor)
+            parent = cursor
+            cursor = cursor.left if key < cursor.key else cursor.right
+        node.parent = parent
+        if parent is None:
+            self.root = node
+        elif key < parent.key:
+            parent.left = node
+            self._emit_write(parent)
+        else:
+            parent.right = node
+            self._emit_write(parent)
+        self._emit_write(node)
+        self._fixup(node)
+        self.size += 1
+        self._emitted.append(self._persist())
+
+    def _fixup(self, node: _Node) -> None:
+        while node.parent is not None and node.parent.color is RED:
+            parent = node.parent
+            grand = parent.parent
+            assert grand is not None
+            if parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color is RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    self._emit_write(parent)
+                    self._emit_write(uncle)
+                    self._emit_write(grand)
+                    node = grand
+                else:
+                    if node is parent.right:
+                        node = parent
+                        self._rotate_left(node)
+                        parent = node.parent
+                        assert parent is not None
+                    parent.color = BLACK
+                    grand.color = RED
+                    self._emit_write(parent)
+                    self._emit_write(grand)
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color is RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    self._emit_write(parent)
+                    self._emit_write(uncle)
+                    self._emit_write(grand)
+                    node = grand
+                else:
+                    if node is parent.left:
+                        node = parent
+                        self._rotate_right(node)
+                        parent = node.parent
+                        assert parent is not None
+                    parent.color = BLACK
+                    grand.color = RED
+                    self._emit_write(parent)
+                    self._emit_write(grand)
+                    self._rotate_left(grand)
+        assert self.root is not None
+        if self.root.color is RED:
+            self.root.color = BLACK
+            self._emit_write(self.root)
+
+    def lookup(self, key: int) -> bool:
+        cursor = self.root
+        while cursor is not None:
+            self._emit_read(cursor)
+            if key == cursor.key:
+                return True
+            cursor = cursor.left if key < cursor.key else cursor.right
+        return False
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by the tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        assert self.root is None or self.root.color is BLACK
+
+        def walk(node: Optional[_Node], lower: Optional[int],
+                 upper: Optional[int]) -> int:
+            if node is None:
+                return 1
+            if lower is not None:
+                assert node.key > lower
+            if upper is not None:
+                assert node.key < upper
+            if node.color is RED:
+                for child in (node.left, node.right):
+                    assert child is None or child.color is BLACK, \
+                        "red node with red child"
+            left_black = walk(node.left, lower, node.key)
+            right_black = walk(node.right, node.key, upper)
+            assert left_black == right_black, "black-height mismatch"
+            return left_black + (1 if node.color is BLACK else 0)
+
+        walk(self.root, None, None)
+
+    # ------------------------------------------------------------------
+    # the trace
+    # ------------------------------------------------------------------
+    def ops(self) -> Iterator[Op]:
+        inserted: List[int] = []
+        seen = set()
+        for _ in range(self.operations):
+            self._emitted = []
+            if inserted and self.rng.random() < self.lookup_fraction:
+                self.lookup(self.rng.choice(inserted))
+            else:
+                key = self.rng.randrange(self.key_space)
+                while key in seen:
+                    key = self.rng.randrange(self.key_space)
+                seen.add(key)
+                inserted.append(key)
+                self.insert(key)
+            yield from self._emitted
+        self._emitted = []

@@ -1,0 +1,76 @@
+"""Workload registry: the paper's 5 micro- + 2 macro-benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.array import ArrayWorkload
+from repro.workloads.base import Workload
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.hashtable import HashTableWorkload
+from repro.workloads.queue import QueueWorkload
+from repro.workloads.rbtree import RBTreeWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.ycsb import YcsbWorkload
+
+MICRO_WORKLOADS: List[str] = ["array", "btree", "hash", "queue", "rbtree"]
+MACRO_WORKLOADS: List[str] = ["tpcc", "ycsb"]
+ALL_WORKLOADS: List[str] = MICRO_WORKLOADS + MACRO_WORKLOADS
+
+WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
+    "array": ArrayWorkload,
+    "btree": BTreeWorkload,
+    "hash": HashTableWorkload,
+    "queue": QueueWorkload,
+    "rbtree": RBTreeWorkload,
+    "tpcc": TpccWorkload,
+    "ycsb": YcsbWorkload,
+}
+
+
+def make_workload(name: str, num_data_lines: int,
+                  operations: int = 2000, seed: int = 42,
+                  **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        cls = WORKLOAD_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown workload %r (choose from %s)"
+            % (name, ", ".join(sorted(WORKLOAD_CLASSES)))
+        ) from None
+    return cls(num_data_lines, operations=operations, seed=seed, **kwargs)
+
+
+def make_threaded_trace(name: str, num_data_lines: int,
+                        threads: int = 8, operations: int = 2000,
+                        seed: int = 42, chunk: int = 4, **kwargs):
+    """A multi-threaded trace, as the paper runs its benchmarks.
+
+    The address space is partitioned across ``threads`` independent
+    instances of the workload (each with its own RNG stream) and their
+    traces are interleaved in memory order. ``operations`` is the
+    per-thread count.
+    """
+    from repro.workloads.trace import Op, interleave_traces
+
+    if threads < 1:
+        raise ValueError("need at least one thread")
+    partition = num_data_lines // threads
+    if partition < 64:
+        raise ValueError(
+            "address space too small for %d threads" % threads
+        )
+
+    def shifted(thread: int):
+        workload = make_workload(
+            name, partition, operations=operations,
+            seed=seed + thread, **kwargs,
+        )
+        base = thread * partition
+        for op in workload.ops():
+            yield Op(op.kind, op.addr + base, op.instructions,
+                     op.persistent)
+
+    traces = [shifted(thread) for thread in range(threads)]
+    return interleave_traces(traces, chunk=chunk, seed=seed)

@@ -1,0 +1,122 @@
+"""The ``tpcc`` macro-benchmark (WHISPER's TPC-C style transaction mix).
+
+A scaled-down TPC-C schema laid out in persistent line arrays (warehouse,
+district, customer, stock, item) plus append-only order/order-line/log
+regions. Transactions follow the TPC-C mix the WHISPER suite uses:
+
+* **new-order** (~60%): read warehouse/district/customer, read 5-15
+  item+stock pairs, update district next-order-id and each stock line,
+  append order and order lines, write a commit log record, persist.
+* **payment** (~40%): read/update warehouse, district and customer
+  balances, append a history record and a log record, persist.
+
+Non-uniform access (customers and items sampled with TPC-C's NURand-like
+skew) keeps some lines hot while the appends sweep fresh lines — the mix
+of localities the paper's macro results reflect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import Workload
+from repro.workloads.trace import Op
+
+
+class TpccWorkload(Workload):
+    """A new-order/payment transaction mix over a TPC-C-like schema."""
+
+    name = "tpcc"
+
+    def __init__(self, num_data_lines: int, operations: int = 500,
+                 seed: int = 42, warehouses: int = 2,
+                 new_order_fraction: float = 0.6) -> None:
+        super().__init__(num_data_lines, operations, seed)
+        self.new_order_fraction = new_order_fraction
+        scale = max(1, warehouses)
+        self.warehouse = self.heap.alloc(scale)
+        self.warehouses = scale
+        self.district = self.heap.alloc(scale * 10)
+        self.customers_per_district = max(
+            32, min(512, num_data_lines // (scale * 10 * 8))
+        )
+        self.customer = self.heap.alloc(
+            scale * 10 * self.customers_per_district
+        )
+        self.items = max(128, min(2048, num_data_lines // 16))
+        self.item = self.heap.alloc(self.items)
+        self.stock = self.heap.alloc(self.items * scale)
+        order_lines = max(256, min(self.heap.free - 256, 8192))
+        self.order_region = self.heap.alloc(order_lines)
+        self.order_lines = order_lines
+        self._order_cursor = 0
+        log_lines = max(64, min(self.heap.free, 2048))
+        self.log_region = self.heap.alloc(log_lines)
+        self.log_lines = log_lines
+        self._log_cursor = 0
+
+    # ------------------------------------------------------------------
+    # skewed pickers (TPC-C uses NURand; a squared-uniform skew is a
+    # faithful stand-in for the locality it creates)
+    # ------------------------------------------------------------------
+    def _skewed(self, n: int) -> int:
+        return int(self.rng.random() ** 2 * n)
+
+    def _append_order(self) -> int:
+        line = self.order_region + self._order_cursor
+        self._order_cursor = (self._order_cursor + 1) % self.order_lines
+        return line
+
+    def _append_log(self) -> int:
+        line = self.log_region + self._log_cursor
+        self._log_cursor = (self._log_cursor + 1) % self.log_lines
+        return line
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def _new_order(self) -> Iterator[Op]:
+        warehouse = self.rng.randrange(self.warehouses)
+        district = warehouse * 10 + self.rng.randrange(10)
+        customer = (
+            district * self.customers_per_district
+            + self._skewed(self.customers_per_district)
+        )
+        yield self._read(self.warehouse + warehouse)
+        yield self._read(self.district + district)
+        yield self._read(self.customer + customer)
+        yield self._write(self.district + district)  # next_o_id
+        yield self._write(self._append_order())      # order header
+        for _ in range(self.rng.randint(5, 15)):
+            item = self._skewed(self.items)
+            stock = warehouse * self.items + item
+            yield self._read(self.item + item)
+            yield self._read(self.stock + stock)
+            yield self._write(self.stock + stock)
+            yield self._write(self._append_order())  # order line
+        yield self._write(self._append_log())        # commit record
+        yield self._persist()
+
+    def _payment(self) -> Iterator[Op]:
+        warehouse = self.rng.randrange(self.warehouses)
+        district = warehouse * 10 + self.rng.randrange(10)
+        customer = (
+            district * self.customers_per_district
+            + self._skewed(self.customers_per_district)
+        )
+        yield self._read(self.warehouse + warehouse)
+        yield self._write(self.warehouse + warehouse)
+        yield self._read(self.district + district)
+        yield self._write(self.district + district)
+        yield self._read(self.customer + customer)
+        yield self._write(self.customer + customer)
+        yield self._write(self._append_order())      # history record
+        yield self._write(self._append_log())
+        yield self._persist()
+
+    def ops(self) -> Iterator[Op]:
+        for _ in range(self.operations):
+            if self.rng.random() < self.new_order_fraction:
+                yield from self._new_order()
+            else:
+                yield from self._payment()

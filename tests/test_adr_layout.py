@@ -1,0 +1,109 @@
+"""Unit tests for the ADR region and the memory layout."""
+
+from repro.config import sim_config
+from repro.mem.adr import AdrRegion
+from repro.mem.layout import MemoryLayout, index_layer_counts
+from repro.mem.nvm import NVM
+
+
+class TestAdrRegion:
+    def test_load_miss_reads_ra(self):
+        nvm = NVM()
+        nvm.flush_ra((1, 0), 42)
+        adr = AdrRegion(2, nvm)
+        assert adr.load((1, 0)) == 42
+        assert nvm.stats["nvm.ra_reads"] == 1
+        assert nvm.stats["adr.misses"] == 1
+
+    def test_load_hit_costs_nothing(self):
+        nvm = NVM()
+        adr = AdrRegion(2, nvm)
+        adr.load((1, 0))
+        reads = nvm.stats["nvm.ra_reads"]
+        adr.load((1, 0))
+        assert nvm.stats["nvm.ra_reads"] == reads
+        assert nvm.stats["adr.hits"] == 1
+
+    def test_overflow_spills_lru_to_ra(self):
+        nvm = NVM()
+        adr = AdrRegion(2, nvm)
+        adr.load((1, 0))
+        adr.store((1, 0), 7)
+        adr.load((1, 1))
+        adr.load((1, 2))  # spills (1, 0)
+        assert (1, 0) not in adr
+        assert nvm.peek_ra((1, 0)) == 7
+        assert nvm.stats["nvm.ra_writes"] == 1
+
+    def test_store_requires_residency(self):
+        nvm = NVM()
+        adr = AdrRegion(2, nvm)
+        try:
+            adr.store((1, 0), 1)
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected KeyError")
+
+    def test_flush_on_power_failure_persists_residents(self):
+        nvm = NVM()
+        adr = AdrRegion(2, nvm)
+        adr.load((1, 0))
+        adr.store((1, 0), 9)
+        writes = nvm.stats["nvm.ra_writes"]
+        adr.flush_on_power_failure()
+        assert nvm.peek_ra((1, 0)) == 9
+        assert nvm.stats["nvm.ra_writes"] == writes  # battery, not traffic
+
+    def test_hit_ratio(self):
+        nvm = NVM()
+        adr = AdrRegion(2, nvm)
+        adr.load((1, 0))
+        adr.load((1, 0))
+        assert adr.hit_ratio() == 0.5
+
+
+class TestIndexLayerCounts:
+    def test_single_layer(self):
+        assert index_layer_counts(100, 512) == [1]
+
+    def test_two_layers(self):
+        assert index_layer_counts(1000, 512) == [2, 1]
+
+    def test_three_layers(self):
+        counts = index_layer_counts(512 * 512 + 1, 512)
+        assert len(counts) == 3
+        assert counts[-1] == 1
+
+    def test_each_layer_covers_the_one_below(self):
+        counts = index_layer_counts(10 ** 6, 512)
+        below = 10 ** 6
+        for count in counts:
+            assert count == -(-below // 512)
+            below = count
+
+
+class TestMemoryLayout:
+    def test_summary_fields(self):
+        layout = MemoryLayout.from_config(sim_config())
+        summary = layout.summary()
+        assert summary["data_lines"] == layout.num_data_lines
+        assert summary["metadata_lines"] == layout.total_meta_lines
+        assert summary["sit_levels"] == layout.geometry.num_levels
+
+    def test_metadata_is_fraction_of_memory(self):
+        layout = MemoryLayout.from_config(sim_config())
+        # 8-ary tree: metadata is about 1/7th of the data lines
+        ratio = layout.total_meta_lines / layout.num_data_lines
+        assert 0.125 <= ratio < 0.15
+
+    def test_recovery_area_is_small(self):
+        layout = MemoryLayout.from_config(sim_config())
+        assert layout.recovery_area_bytes < layout.metadata_bytes / 32
+
+    def test_paper_scale_recovery_area(self):
+        """16 GB -> RA around 1/512 of ~2 GB metadata (Section III-D)."""
+        from repro.config import paper_config
+        layout = MemoryLayout.from_config(paper_config())
+        assert layout.geometry.num_levels == 9
+        assert 3 * 1024 ** 2 < layout.recovery_area_bytes < 5 * 1024 ** 2

@@ -1,0 +1,101 @@
+"""Property test over STAR's whole recovery attack surface.
+
+Section III-F claims: "no matter attacks occur in the recovery-related
+or recovery-unrelated metadata during recovery, the system has the
+ability to detect the attacks" — recovery-related ones during recovery
+(cache-tree root mismatch), recovery-unrelated ones later, on use.
+
+This test fuzzes the recovery-related surface: for arbitrary write
+histories and an arbitrary choice of corruption target — stale-node
+MSBs (shifted beyond the reconstruction window), child LSB fields, or
+bitmap lines hiding a stale location — verification must fail.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.config import small_config
+from repro.core.synergy import LSB_MASK, LSB_SPAN
+from repro.sim.machine import Machine
+
+
+def crashed_machine(writes):
+    machine = Machine(small_config(), scheme="star")
+    for line in writes:
+        machine.controller.write_data(line)
+    machine.crash()
+    return machine
+
+
+@given(
+    writes=st.lists(st.integers(min_value=0, max_value=511),
+                    min_size=3, max_size=60),
+    attack=st.sampled_from(["msb", "child_lsbs", "bitmap_hide"]),
+    pick=st.integers(min_value=0, max_value=10 ** 6),
+    slot=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_recovery_input_corruption_is_detected(
+    writes, attack, pick, slot
+):
+    machine = crashed_machine(writes)
+    stale = sorted(machine.pre_crash_dirty)
+    assume(stale)
+    nvm = machine.nvm
+    geometry = machine.controller.geometry
+
+    if attack == "msb":
+        # shift a stale node's persisted MSBs beyond the LSB window:
+        # the reconstruction lands on the wrong counter with certainty
+        candidates = [line for line in stale
+                      if nvm.meta_is_touched(line)]
+        assume(candidates)
+        line = candidates[pick % len(candidates)]
+        image = nvm.peek_meta(line)
+        counters = list(image.counters)
+        counters[slot] += LSB_SPAN
+        from dataclasses import replace
+        nvm.tamper_meta(line, replace(image, counters=tuple(counters)))
+
+    elif attack == "child_lsbs":
+        # corrupt the synergized LSBs of a written child of a stale
+        # counter block: its parent reconstructs to a wrong counter
+        targets = []
+        for line in stale:
+            node = geometry.node_at(line)
+            if node[0] != 0:
+                continue
+            for child in geometry.children_of(node):
+                if nvm.peek_data(child) is not None:
+                    targets.append(child)
+        assume(targets)
+        child = targets[pick % len(targets)]
+        image = nvm.peek_data(child)
+        flip = 1 + (pick % LSB_MASK)
+        from dataclasses import replace
+        nvm.tamper_data(child, replace(image, lsbs=image.lsbs ^ flip))
+
+    else:  # bitmap_hide
+        index = machine.scheme.bitmap.index
+        assume(not index.is_on_chip(1))
+        line = stale[pick % len(stale)]
+        l1_line, bit = index.l1_position(line)
+        value = nvm.peek_ra((1, l1_line))
+        nvm.tamper_ra((1, l1_line), value ^ (1 << bit))
+
+    report = machine.recover()
+    assert not report.verified, (
+        "attack %r on a stale input went undetected" % attack
+    )
+
+
+@given(
+    writes=st.lists(st.integers(min_value=0, max_value=511),
+                    min_size=1, max_size=60),
+)
+@settings(max_examples=30, deadline=None)
+def test_no_false_positives_without_tampering(writes):
+    """The dual: honest recoveries never trip the verifier."""
+    machine = crashed_machine(writes)
+    report = machine.recover(raise_on_failure=True)
+    assert report.verified
+    assert machine.oracle_check(report)

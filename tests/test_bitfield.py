@@ -1,0 +1,124 @@
+"""Unit + property tests for repro.util.bitfield."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import bitfield
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert bitfield.mask(0) == 0
+
+    def test_small_widths(self):
+        assert bitfield.mask(1) == 1
+        assert bitfield.mask(8) == 0xFF
+        assert bitfield.mask(10) == 0x3FF
+        assert bitfield.mask(54) == (1 << 54) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bitfield.mask(-1)
+
+
+class TestTruncateAndCheck:
+    def test_truncate_keeps_low_bits(self):
+        assert bitfield.truncate(0x1234, 8) == 0x34
+
+    def test_check_width_accepts_fit(self):
+        assert bitfield.check_width(255, 8) == 255
+
+    def test_check_width_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bitfield.check_width(256, 8)
+
+    def test_check_width_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitfield.check_width(-1, 8)
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1),
+           st.integers(min_value=0, max_value=64))
+    def test_truncate_idempotent(self, value, width):
+        once = bitfield.truncate(value, width)
+        assert bitfield.truncate(once, width) == once
+
+
+class TestPackUnpack:
+    def test_known_packing(self):
+        assert bitfield.pack_fields([(0xA, 4), (0xB, 4)]) == 0xAB
+
+    def test_unpack_inverse(self):
+        packed = bitfield.pack_fields([(3, 2), (0x1F, 5), (0, 1)])
+        assert bitfield.unpack_fields(packed, [2, 5, 1]) == [3, 0x1F, 0]
+
+    def test_pack_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bitfield.pack_fields([(4, 2)])
+
+    def test_unpack_rejects_excess(self):
+        with pytest.raises(ValueError):
+            bitfield.unpack_fields(1 << 10, [4, 4])
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=16)),
+                    min_size=1, max_size=6).flatmap(
+        lambda widths: st.tuples(
+            st.just([w[0] for w in widths]),
+            st.tuples(*[
+                st.integers(min_value=0, max_value=(1 << w[0]) - 1)
+                for w in widths
+            ]),
+        )
+    ))
+    def test_roundtrip_property(self, widths_values):
+        widths, values = widths_values
+        packed = bitfield.pack_fields(list(zip(values, widths)))
+        assert bitfield.unpack_fields(packed, widths) == list(values)
+
+
+class TestBitOps:
+    def test_set_clear_test(self):
+        word = 0
+        word = bitfield.set_bit(word, 5)
+        assert bitfield.test_bit(word, 5)
+        assert not bitfield.test_bit(word, 4)
+        word = bitfield.clear_bit(word, 5)
+        assert word == 0
+
+    def test_clear_unset_bit_is_noop(self):
+        assert bitfield.clear_bit(0b101, 1) == 0b101
+
+    def test_iter_set_bits_ascending(self):
+        assert list(bitfield.iter_set_bits(0b101001)) == [0, 3, 5]
+
+    def test_iter_set_bits_empty(self):
+        assert list(bitfield.iter_set_bits(0)) == []
+
+    def test_popcount(self):
+        assert bitfield.popcount(0) == 0
+        assert bitfield.popcount(0b1011) == 3
+
+    @given(st.integers(min_value=0, max_value=2 ** 128 - 1))
+    def test_popcount_matches_iter(self, word):
+        assert bitfield.popcount(word) == len(
+            list(bitfield.iter_set_bits(word))
+        )
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1),
+           st.integers(min_value=0, max_value=63))
+    def test_set_then_test(self, word, bit):
+        assert bitfield.test_bit(bitfield.set_bit(word, bit), bit)
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1),
+           st.integers(min_value=0, max_value=63))
+    def test_clear_then_test(self, word, bit):
+        assert not bitfield.test_bit(bitfield.clear_bit(word, bit), bit)
+
+
+class TestByteConversions:
+    def test_roundtrip(self):
+        assert bitfield.bytes_to_int(
+            bitfield.int_to_bytes(0xDEADBEEF, 8)
+        ) == 0xDEADBEEF
+
+    def test_big_endian(self):
+        assert bitfield.int_to_bytes(1, 2) == b"\x00\x01"

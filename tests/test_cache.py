@@ -1,0 +1,177 @@
+"""Unit + property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.errors import ReproError
+from repro.mem.cache import EvictionDeadlock, SetAssociativeCache
+
+
+def make_cache(sets: int = 4, ways: int = 2) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        CacheConfig(size_bytes=sets * ways * 64, ways=ways)
+    )
+
+
+class TestBasics:
+    def test_set_mapping(self):
+        cache = make_cache(sets=4)
+        assert cache.set_index(0) == 0
+        assert cache.set_index(5) == 1
+
+    def test_insert_lookup(self):
+        cache = make_cache()
+        cache.insert(8, payload="p")
+        line = cache.lookup(8)
+        assert line is not None
+        assert line.payload == "p"
+        assert not line.dirty
+
+    def test_lookup_miss(self):
+        assert make_cache().lookup(8) is None
+
+    def test_contains(self):
+        cache = make_cache()
+        cache.insert(8)
+        assert 8 in cache
+        assert 4 not in cache
+
+    def test_double_insert_rejected(self):
+        cache = make_cache()
+        cache.insert(8)
+        with pytest.raises(ReproError):
+            cache.insert(8)
+
+    def test_insert_into_full_set_rejected(self):
+        cache = make_cache(sets=4, ways=1)
+        cache.insert(0)
+        with pytest.raises(ReproError):
+            cache.insert(4)
+
+    def test_remove(self):
+        cache = make_cache()
+        cache.insert(8)
+        cache.remove(8)
+        assert 8 not in cache
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_cache().remove(1)
+
+
+class TestVictimSelection:
+    def test_no_victim_when_room(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(0)
+        assert cache.victim_for(100) is None
+
+    def test_lru_victim(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.lookup(0)  # refresh 0; 1 becomes LRU
+        victim = cache.victim_for(2)
+        assert victim is not None and victim.addr == 1
+
+    def test_pinned_lines_skipped(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.pin(0)
+        victim = cache.victim_for(2)
+        assert victim is not None and victim.addr == 1
+
+    def test_all_pinned_deadlocks(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.insert(0)
+        cache.insert(1)
+        cache.pin(0)
+        cache.pin(1)
+        with pytest.raises(EvictionDeadlock):
+            cache.victim_for(2)
+
+    def test_unpin_restores_eviction(self):
+        cache = make_cache(sets=1, ways=1)
+        cache.insert(0)
+        cache.pin(0)
+        cache.unpin(0)
+        victim = cache.victim_for(1)
+        assert victim is not None and victim.addr == 0
+
+
+class TestDirtyState:
+    def test_mark_dirty_reports_transition(self):
+        cache = make_cache()
+        cache.insert(8)
+        assert cache.mark_dirty(8) is True
+        assert cache.mark_dirty(8) is False
+
+    def test_mark_clean_reports_transition(self):
+        cache = make_cache()
+        cache.insert(8, dirty=True)
+        assert cache.mark_clean(8) is True
+        assert cache.mark_clean(8) is False
+
+    def test_mark_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_cache().mark_dirty(1)
+
+    def test_dirty_inventory(self):
+        cache = make_cache()
+        cache.insert(0, dirty=True)
+        cache.insert(1)
+        cache.insert(2, dirty=True)
+        assert cache.dirty_count() == 2
+        assert sorted(line.addr for line in cache.dirty_lines()) == [0, 2]
+
+
+class TestInspection:
+    def test_occupancy(self):
+        cache = make_cache(sets=4, ways=2)
+        cache.insert(0)
+        assert cache.occupancy() == (1, 8)
+
+    def test_lines_by_set(self):
+        cache = make_cache(sets=4, ways=2)
+        cache.insert(0)
+        cache.insert(4)
+        cache.insert(1)
+        grouped = cache.lines_by_set()
+        assert sorted(grouped) == [0, 1]
+        assert [line.addr for line in grouped[0]] == [0, 4]
+
+    def test_clear(self):
+        cache = make_cache()
+        cache.insert(0)
+        cache.pin(0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.pinned() == set()
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=31),
+                          st.booleans()), max_size=150))
+@settings(max_examples=60, deadline=None)
+def test_matches_reference_lru_model(accesses):
+    """Insert-with-LRU-eviction tracks a per-set reference model."""
+    sets, ways = 4, 2
+    cache = make_cache(sets=sets, ways=ways)
+    model = {index: [] for index in range(sets)}  # MRU at end
+    for addr, dirty in accesses:
+        set_index = addr % sets
+        if cache.lookup(addr) is None:
+            victim = cache.victim_for(addr)
+            if victim is not None:
+                cache.remove(victim.addr)
+                model[set_index].remove(victim.addr)
+            cache.insert(addr, dirty=dirty)
+            model[set_index].append(addr)
+        else:
+            model[set_index].remove(addr)
+            model[set_index].append(addr)
+        assert len(model[set_index]) <= ways
+    for set_index, addrs in model.items():
+        resident = [line.addr for line in cache.lines_by_set()
+                    .get(set_index, [])]
+        assert resident == addrs

@@ -1,0 +1,96 @@
+"""Unit + property tests for the cache-tree (Section III-E)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cachetree import CacheTree
+
+KEY = b"cache-tree-key"
+
+
+def make_tree(num_sets: int = 16) -> CacheTree:
+    return CacheTree(KEY, num_sets)
+
+
+class TestSetMac:
+    def test_empty_set_is_zero(self):
+        assert make_tree().set_mac(0, []) == 0
+
+    def test_entries_sorted_internally(self):
+        tree = make_tree()
+        forward = tree.set_mac(0, [(16, 1), (32, 2)])
+        backward = tree.set_mac(0, [(32, 2), (16, 1)])
+        assert forward == backward
+
+    def test_set_index_is_part_of_mac(self):
+        tree = make_tree()
+        assert tree.set_mac(0, [(16, 1)]) != tree.set_mac(1, [(16, 1)])
+
+    def test_mac_value_matters(self):
+        tree = make_tree()
+        assert tree.set_mac(0, [(16, 1)]) != tree.set_mac(0, [(16, 2)])
+
+    def test_address_matters(self):
+        tree = make_tree()
+        assert tree.set_mac(0, [(16, 1)]) != tree.set_mac(0, [(32, 1)])
+
+
+class TestRoot:
+    def test_empty_cache_root_is_stable(self):
+        tree = make_tree()
+        assert tree.root({}) == tree.root({})
+
+    def test_root_differs_with_any_set(self):
+        tree = make_tree()
+        assert tree.root({}) != tree.root({3: 12345})
+
+    def test_root_from_entries_groups_by_set(self):
+        tree = make_tree(num_sets=4)
+        entries = [(0, 10), (4, 11), (1, 12)]  # sets 0, 0, 1
+        by_hand = tree.root({
+            0: tree.set_mac(0, [(0, 10), (4, 11)]),
+            1: tree.set_mac(1, [(1, 12)]),
+        })
+        assert tree.root_from_entries(entries) == by_hand
+
+    def test_eviction_order_independence(self):
+        """The same dirty population gives the same root regardless of
+        the order in which lines became dirty — challenge (1) of
+        Section III-E."""
+        tree = make_tree(num_sets=4)
+        entries = [(0, 10), (4, 11), (9, 12), (2, 13)]
+        import itertools
+        roots = {
+            tree.root_from_entries(list(perm))
+            for perm in itertools.permutations(entries)
+        }
+        assert len(roots) == 1
+
+
+@given(st.dictionaries(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=2 ** 54 - 1),
+    min_size=1, max_size=30,
+), st.data())
+@settings(max_examples=60, deadline=None)
+def test_any_difference_changes_root(entries, data):
+    """Adding, dropping or altering any dirty line changes the root."""
+    tree = make_tree(num_sets=16)
+    base = sorted(entries.items())
+    root = tree.root_from_entries(base)
+
+    # alter one MAC
+    addr = data.draw(st.sampled_from(sorted(entries)))
+    altered = dict(entries)
+    altered[addr] ^= 1
+    assert tree.root_from_entries(sorted(altered.items())) != root
+
+    # drop one line
+    dropped = dict(entries)
+    del dropped[addr]
+    assert tree.root_from_entries(sorted(dropped.items())) != root
+
+    # add one line
+    extra_addr = data.draw(st.integers(min_value=256, max_value=512))
+    added = dict(entries)
+    added[extra_addr] = 7
+    assert tree.root_from_entries(sorted(added.items())) != root

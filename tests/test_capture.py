@@ -1,0 +1,91 @@
+"""Tests for trace capture/replay."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import small_config
+from repro.sim.machine import Machine
+from repro.workloads.capture import (
+    format_op,
+    load_trace,
+    parse_op,
+    read_trace,
+    save_trace,
+)
+from repro.workloads.registry import make_workload
+from repro.workloads.trace import Op, OpKind
+
+op_strategy = st.builds(
+    Op,
+    kind=st.sampled_from(list(OpKind)),
+    addr=st.integers(min_value=0, max_value=2 ** 40),
+    instructions=st.integers(min_value=0, max_value=10 ** 6),
+    persistent=st.booleans(),
+)
+
+
+class TestFormat:
+    def test_read_format(self):
+        assert format_op(Op(OpKind.READ, 5, 10)) == "R 5 10"
+
+    def test_write_formats_persistence(self):
+        assert format_op(Op(OpKind.WRITE, 5, 10, True)) == "W 5 10 p"
+        assert format_op(Op(OpKind.WRITE, 5, 10, False)) == "W 5 10 s"
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "X 1 2", "R 1", "R 1 2 3", "W 1 2 z",
+                    "R one 2"):
+            with pytest.raises(ValueError):
+                parse_op(bad)
+
+    @given(op_strategy)
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, op):
+        parsed = parse_op(format_op(op))
+        assert parsed.kind == op.kind
+        assert parsed.addr == op.addr
+        assert parsed.instructions == op.instructions
+        if op.kind is OpKind.WRITE:
+            assert parsed.persistent == op.persistent
+
+
+class TestFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        ops = [Op(OpKind.WRITE, 1, 2), Op(OpKind.PERSIST, 0, 3),
+               Op(OpKind.READ, 4, 5)]
+        path = tmp_path / "trace.txt"
+        assert save_trace(ops, path, header="demo\ntwo lines") == 3
+        assert list(load_trace(path)) == ops
+
+    def test_gzip_roundtrip(self, tmp_path):
+        ops = [Op(OpKind.READ, addr, 1) for addr in range(50)]
+        path = tmp_path / "trace.txt.gz"
+        save_trace(ops, path)
+        assert list(load_trace(path)) == ops
+
+    def test_comments_and_blanks_skipped(self):
+        stream = io.StringIO("# header\n\nR 1 2\n  \n# more\nP 0 0\n")
+        ops = list(read_trace(stream))
+        assert [op.kind for op in ops] == [OpKind.READ, OpKind.PERSIST]
+
+    def test_workload_capture_replays_identically(self, tmp_path):
+        """A captured trace drives a machine to the same traffic as the
+        live generator."""
+        config = small_config()
+        workload = make_workload("btree", config.num_data_lines,
+                                 operations=60, seed=5)
+        path = tmp_path / "btree.trace"
+        save_trace(workload.ops(), path)
+
+        live = Machine(config, scheme="star")
+        fresh = make_workload("btree", config.num_data_lines,
+                              operations=60, seed=5)
+        live.run(fresh.ops())
+
+        replayed = Machine(config, scheme="star")
+        replayed.run(load_trace(path))
+
+        assert replayed.stats.snapshot() == live.stats.snapshot()
+        assert replayed.timing.now_ns == live.timing.now_ns

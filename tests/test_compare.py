@@ -1,0 +1,68 @@
+"""Tests for the star-compare result-diff tool."""
+
+import json
+
+from repro.tools.compare import compare_results, main
+
+
+def dump(path, rows_value):
+    payload = [{
+        "experiment": "Fig. 11",
+        "title": "t",
+        "columns": ["workload", "star"],
+        "rows": [{"workload": "hash", "star": rows_value}],
+        "notes": [],
+    }]
+    path.write_text(json.dumps(payload))
+
+
+class TestCompare:
+    def test_identical_results_agree(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        dump(a, 1.05)
+        dump(b, 1.05)
+        assert main([str(a), str(b)]) == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_within_tolerance(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        dump(a, 1.000)
+        dump(b, 1.005)
+        assert main([str(a), str(b), "--tolerance", "0.02"]) == 0
+
+    def test_drift_detected(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        dump(a, 1.00)
+        dump(b, 1.50)
+        assert main([str(a), str(b)]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_structural_notes(self):
+        before = {"X": {"columns": ["w"], "rows": []}}
+        after = {}
+        drifts, notes = compare_results(before, after, 0.02)
+        assert not drifts
+        assert any("disappeared" in note for note in notes)
+
+    def test_strict_mode_fails_on_structure(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        dump(a, 1.0)
+        b.write_text("[]")
+        assert main([str(a), str(b)]) == 0
+        assert main([str(a), str(b), "--strict"]) == 1
+
+    def test_non_numeric_cells_ignored(self):
+        row = {"workload": "hash", "star": "n/a"}
+        table = {"columns": ["workload", "star"], "rows": [row]}
+        drifts, _notes = compare_results({"X": table}, {"X": table},
+                                         0.02)
+        assert drifts == []
+
+    def test_end_to_end_with_star_bench(self, tmp_path, capsys):
+        from repro.bench.cli import main as bench_main
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            bench_main(["--experiment", "fig14a", "--scale", "smoke",
+                        "--json", str(path)])
+        capsys.readouterr()
+        assert main([str(a), str(b)]) == 0

@@ -1,0 +1,115 @@
+"""Unit tests for repro.config."""
+
+import pytest
+
+from repro.config import (
+    BITMAP_FANOUT,
+    CacheConfig,
+    LINE_SIZE,
+    LSB_BITS,
+    MAC_BITS,
+    NVMTimings,
+    StarConfig,
+    SystemConfig,
+    paper_config,
+    sim_config,
+    small_config,
+)
+from repro.errors import ConfigError
+
+
+class TestConstants:
+    def test_mac_split_covers_field(self):
+        assert MAC_BITS + LSB_BITS == 64
+
+    def test_bitmap_fanout_is_bits_per_line(self):
+        assert BITMAP_FANOUT == LINE_SIZE * 8
+
+
+class TestCacheConfig:
+    def test_derived_geometry(self):
+        cache = CacheConfig(size_bytes=512 * 1024, ways=8)
+        assert cache.num_lines == 8192
+        assert cache.num_sets == 1024
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, ways=8)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1024, ways=0)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=3 * 64 * 4, ways=4)
+
+
+class TestNVMTimings:
+    def test_paper_latencies(self):
+        timings = NVMTimings()
+        assert timings.read_latency_ns == 48.0 + 15.0
+        assert timings.write_latency_ns == 300.0
+
+    def test_energy_is_write_asymmetric(self):
+        timings = NVMTimings()
+        assert timings.write_energy_nj > timings.read_energy_nj
+
+
+class TestStarConfig:
+    def test_defaults(self):
+        star = StarConfig()
+        assert star.adr_bitmap_lines == 16
+        assert star.counter_flush_threshold == 1023
+
+    def test_rejects_zero_adr_lines(self):
+        with pytest.raises(ConfigError):
+            StarConfig(adr_bitmap_lines=0)
+
+    def test_rejects_threshold_at_wraparound(self):
+        with pytest.raises(ConfigError):
+            StarConfig(counter_flush_threshold=1 << LSB_BITS)
+
+
+class TestSystemConfig:
+    def test_paper_config_matches_table1(self):
+        config = paper_config()
+        assert config.memory_bytes == 16 * 1024 ** 3
+        assert config.metadata_cache.size_bytes == 512 * 1024
+        assert config.metadata_cache.ways == 8
+        assert config.llc.size_bytes == 4 * 1024 ** 2
+        assert config.l2.size_bytes == 512 * 1024
+        assert config.l1.size_bytes == 64 * 1024
+        assert config.star.adr_bitmap_lines == 16
+
+    def test_num_data_lines(self):
+        assert small_config(memory_bytes=1024 * 1024).num_data_lines == \
+            16384
+
+    def test_rejects_tiny_memory(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                memory_bytes=64,
+                metadata_cache=CacheConfig(size_bytes=1024, ways=4),
+                llc=CacheConfig(size_bytes=1024, ways=4),
+            )
+
+    def test_rejects_unaligned_memory(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                memory_bytes=1024 * 1024 + 1,
+                metadata_cache=CacheConfig(size_bytes=1024, ways=4),
+                llc=CacheConfig(size_bytes=1024, ways=4),
+            )
+
+    def test_with_metadata_cache_bytes(self):
+        config = small_config().with_metadata_cache_bytes(8 * 1024)
+        assert config.metadata_cache.size_bytes == 8 * 1024
+        assert config.metadata_cache.ways == \
+            small_config().metadata_cache.ways
+
+    def test_with_adr_lines(self):
+        assert small_config().with_adr_lines(7).star.adr_bitmap_lines == 7
+
+    def test_sim_config_scaled_fanout(self):
+        assert sim_config(bitmap_fanout=64).star.bitmap_fanout == 64

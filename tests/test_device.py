@@ -1,0 +1,151 @@
+"""Tests for the bank-level PCM device model and its machine wiring."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import NVMTimings, small_config
+from repro.mem.device import PCMDevice
+from repro.sim.machine import Machine
+
+from conftest import run_small_workload
+
+T = NVMTimings()
+
+
+def make_device(banks=4, row_lines=8) -> PCMDevice:
+    return PCMDevice(T, banks=banks, row_lines=row_lines)
+
+
+class TestAddressMapping:
+    def test_row_interleaved_banking(self):
+        device = make_device(banks=4, row_lines=8)
+        assert device.bank_of(0) == 0
+        assert device.bank_of(7) == 0    # same row, same bank
+        assert device.bank_of(8) == 1    # next row, next bank
+        assert device.bank_of(8 * 4) == 0  # wraps around
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCMDevice(T, banks=0)
+        with pytest.raises(ValueError):
+            PCMDevice(T, row_lines=0)
+
+
+class TestRowBuffer:
+    def test_first_access_misses(self):
+        device = make_device()
+        completion = device.read(0, 0.0)
+        assert completion == pytest.approx(T.t_rcd_ns + T.t_cl_ns)
+        assert device.row_misses == 1
+
+    def test_same_row_hits(self):
+        device = make_device()
+        first = device.read(0, 0.0)
+        second = device.read(1, first)
+        assert second - first == pytest.approx(T.t_cl_ns)
+        assert device.row_hits == 1
+
+    def test_row_conflict_pays_activation(self):
+        device = make_device(banks=1, row_lines=8)
+        first = device.read(0, 0.0)
+        second = device.read(8, first)  # same bank, different row
+        assert second - first == pytest.approx(T.t_rcd_ns + T.t_cl_ns)
+
+    def test_hit_ratio(self):
+        device = make_device()
+        device.read(0, 0.0)
+        device.read(1, 1000.0)
+        assert device.row_hit_ratio() == 0.5
+
+
+class TestBankParallelism:
+    def test_different_banks_overlap(self):
+        device = make_device(banks=4, row_lines=8)
+        write_done = device.write(0, 0.0)      # bank 0
+        read_done = device.read(8, 0.0)        # bank 1: not blocked
+        assert read_done < write_done
+
+    def test_same_bank_serializes(self):
+        device = make_device(banks=4, row_lines=8)
+        write_done = device.write(0, 0.0)
+        read_done = device.read(1, 0.0)        # bank 0: waits
+        assert read_done > write_done
+
+    def test_drain_time(self):
+        device = make_device()
+        done = device.write(0, 0.0)
+        assert device.drain_time(0.0) == pytest.approx(done)
+        assert device.drain_time(done + 1) == 0.0
+
+    def test_pending_writes(self):
+        device = make_device(banks=4, row_lines=8)
+        device.write(0, 0.0)
+        device.write(8, 0.0)
+        assert device.pending_writes(0.1) == 2
+
+
+class TestFawThrottle:
+    def test_burst_of_activations_throttled(self):
+        device = make_device(banks=8, row_lines=8)
+        # five activations in rapid succession to distinct banks: the
+        # fifth must wait for the tFAW window
+        completions = [
+            device.read(8 * bank, 0.0) for bank in range(5)
+        ]
+        first_four = completions[:4]
+        assert max(first_four) - min(first_four) < T.t_faw_ns
+        assert completions[4] >= T.t_faw_ns
+
+    def test_reset(self):
+        device = make_device()
+        device.write(0, 0.0)
+        device.reset()
+        assert device.drain_time(0.0) == 0.0
+
+
+class TestMachineIntegration:
+    def _machine(self, scheme):
+        config = replace(small_config(), device_timing=True)
+        return Machine(config, scheme=scheme)
+
+    def test_runs_and_times_with_device(self):
+        machine = self._machine("star")
+        run_small_workload(machine, "hash", operations=120)
+        assert machine.timing.now_ns > 0
+        assert machine.timing.device.row_misses > 0
+
+    def test_crash_recovery_unaffected(self):
+        machine = self._machine("star")
+        run_small_workload(machine, "hash", operations=120)
+        machine.crash()
+        report = machine.recover(raise_on_failure=True)
+        assert machine.oracle_check(report)
+
+    def test_scheme_ordering_preserved(self):
+        """Fig. 12's ordering holds under the banked device too."""
+        ipcs = {}
+        for scheme in ("wb", "anubis", "strict"):
+            machine = self._machine(scheme)
+            run_small_workload(machine, "hash", operations=200)
+            ipcs[scheme] = machine.timing.ipc
+        assert ipcs["wb"] >= ipcs["anubis"] >= ipcs["strict"]
+
+    def test_traffic_identical_to_flat_timing(self):
+        """The device model changes time, never traffic."""
+        flat = Machine(small_config(), scheme="star")
+        banked = self._machine("star")
+        run_small_workload(flat, "queue", operations=150)
+        run_small_workload(banked, "queue", operations=150)
+        assert flat.nvm.total_writes() == banked.nvm.total_writes()
+        assert flat.nvm.total_reads() == banked.nvm.total_reads()
+
+    def test_regions_map_to_disjoint_lines(self):
+        machine = self._machine("anubis")
+        layout = machine.controller.layout
+        data_top = machine._physical_line("data", layout.num_data_lines - 1)
+        meta_bottom = machine._physical_line("meta", 0)
+        meta_top = machine._physical_line("meta", layout.total_meta_lines - 1)
+        ra_bottom = machine._physical_line("ra", (1, 0))
+        st_bottom = machine._physical_line("st", 0)
+        assert data_top < meta_bottom <= meta_top < ra_bottom < st_bottom

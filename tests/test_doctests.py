@@ -1,0 +1,19 @@
+"""Run the docstring examples of the modules that carry them."""
+
+import doctest
+
+import pytest
+
+import repro.core.synergy
+import repro.util.bitfield
+
+MODULES = [repro.util.bitfield, repro.core.synergy]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module)
+    assert results.attempted > 0, "expected docstring examples"
+    assert results.failed == 0

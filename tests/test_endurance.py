@@ -1,0 +1,96 @@
+"""Tests for the NVM wear/endurance model."""
+
+import pytest
+
+from repro.config import small_config
+from repro.mem.nvm import NVM
+from repro.sim.endurance import (
+    PCM_ENDURANCE_WRITES,
+    wear_report,
+)
+from repro.sim.machine import Machine
+from repro.tree.node import DataLineImage
+
+from conftest import run_small_workload
+
+
+def _image() -> DataLineImage:
+    return DataLineImage(ciphertext=bytes(64), mac=0, lsbs=0)
+
+
+class TestWearTracking:
+    def test_empty_device(self):
+        report = wear_report(NVM())
+        assert report.total_writes == 0
+        assert report.max_wear == 0
+        assert report.hottest_line is None
+        assert report.mean_wear == 0.0
+        assert report.imbalance == 0.0
+
+    def test_counts_per_line(self):
+        nvm = NVM()
+        for _ in range(3):
+            nvm.write_data(5, _image())
+        nvm.write_data(6, _image())
+        report = wear_report(nvm)
+        assert report.total_writes == 4
+        assert report.lines_touched == 2
+        assert report.max_wear == 3
+        assert report.hottest_line == ("data", 5)
+
+    def test_regions_tracked_separately(self):
+        nvm = NVM()
+        nvm.write_data(0, _image())
+        nvm.write_st(0, "entry")
+        nvm.write_st(0, "entry")
+        report = wear_report(nvm)
+        assert report.per_region_max["st"] == 2
+        assert report.per_region_max["data"] == 1
+
+    def test_tamper_does_not_wear(self):
+        nvm = NVM()
+        nvm.tamper_data(0, _image())
+        assert wear_report(nvm).total_writes == 0
+
+    def test_lifetime_fraction(self):
+        nvm = NVM()
+        nvm.write_data(0, _image())
+        report = wear_report(nvm)
+        assert report.lifetime_fraction_consumed() == \
+            pytest.approx(1 / PCM_ENDURANCE_WRITES)
+        with pytest.raises(ValueError):
+            report.lifetime_fraction_consumed(0)
+
+    def test_imbalance(self):
+        nvm = NVM()
+        for _ in range(9):
+            nvm.write_data(0, _image())
+        nvm.write_data(1, _image())
+        report = wear_report(nvm)
+        assert report.imbalance == pytest.approx(9 / 5)
+
+
+class TestSchemeWearContrast:
+    def test_anubis_concentrates_wear_on_st_slots(self):
+        """Anubis rewrites the ST slot shadowing a hot node on every
+        write to it; STAR has no such hot extra line."""
+        config = small_config()
+        reports = {}
+        for scheme in ("star", "anubis"):
+            machine = Machine(config, scheme=scheme)
+            run_small_workload(machine, "queue", operations=300)
+            reports[scheme] = wear_report(machine.nvm)
+        assert reports["anubis"].max_wear > reports["star"].max_wear
+        assert reports["anubis"].per_region_max["st"] > \
+            reports["star"].per_region_max.get("ra", 0)
+
+    def test_strict_hammers_the_tree_top(self):
+        """Write-through persistence rewrites high tree levels on every
+        data write — the endurance argument against it."""
+        config = small_config()
+        machine = Machine(config, scheme="strict")
+        run_small_workload(machine, "array", operations=200)
+        report = wear_report(machine.nvm)
+        region, _line = report.hottest_line
+        assert region == "meta"
+        assert report.imbalance > 3.0

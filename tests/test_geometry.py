@@ -1,0 +1,131 @@
+"""Unit + property tests for the SIT geometry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.tree.geometry import TreeGeometry
+
+
+class TestShape:
+    def test_paper_scale_has_nine_levels(self):
+        """16 GB = 2^28 data lines -> 9 in-NVM levels (Table I)."""
+        geometry = TreeGeometry(2 ** 28)
+        assert geometry.num_levels == 9
+        assert geometry.level_counts[0] == 2 ** 25
+        assert geometry.level_counts[-1] <= 8
+
+    def test_minimal_memory(self):
+        geometry = TreeGeometry(8)
+        assert geometry.num_levels == 1
+        assert geometry.level_counts == (1,)
+
+    def test_non_multiple_data_lines(self):
+        geometry = TreeGeometry(9)
+        assert geometry.level_counts[0] == 2
+
+    def test_top_level_at_most_arity_nodes(self):
+        for lines in (8, 64, 100, 4096, 10 ** 6):
+            geometry = TreeGeometry(lines)
+            assert geometry.level_counts[-1] <= geometry.arity
+
+    def test_rejects_empty_memory(self):
+        with pytest.raises(ConfigError):
+            TreeGeometry(0)
+
+    def test_rejects_tiny_arity(self):
+        with pytest.raises(ConfigError):
+            TreeGeometry(64, arity=1)
+
+    def test_total_nodes(self):
+        geometry = TreeGeometry(64)
+        assert geometry.total_nodes == sum(geometry.level_counts)
+
+
+class TestRelations:
+    def setup_method(self):
+        self.geometry = TreeGeometry(4096)
+
+    def test_counter_block_for(self):
+        assert self.geometry.counter_block_for(0) == (0, 0)
+        assert self.geometry.counter_block_for(17) == (0, 2)
+
+    def test_data_slot(self):
+        assert self.geometry.data_slot(17) == 1
+
+    def test_parent_of(self):
+        assert self.geometry.parent_of((0, 9)) == (1, 1)
+
+    def test_parent_of_top_level_raises(self):
+        top = (self.geometry.top_level, 0)
+        with pytest.raises(ValueError):
+            self.geometry.parent_of(top)
+
+    def test_slot_in_parent(self):
+        assert self.geometry.slot_in_parent((0, 9)) == 1
+
+    def test_children_of_level0_are_data_lines(self):
+        assert self.geometry.children_of((0, 2)) == list(range(16, 24))
+
+    def test_children_of_upper_levels_are_node_indices(self):
+        assert self.geometry.children_of((1, 1)) == list(range(8, 16))
+
+    def test_edge_node_has_fewer_children(self):
+        geometry = TreeGeometry(12)  # 2 counter blocks, second covers 4
+        assert geometry.children_of((0, 1)) == [8, 9, 10, 11]
+
+    def test_ancestors_bottom_up(self):
+        ancestors = list(self.geometry.ancestors_of((0, 9)))
+        assert ancestors[0] == (1, 1)
+        assert ancestors[-1][0] == self.geometry.top_level
+
+    def test_out_of_range_checks(self):
+        with pytest.raises(ValueError):
+            self.geometry.counter_block_for(4096)
+        with pytest.raises(ValueError):
+            self.geometry.check_node((0, 10 ** 9))
+        with pytest.raises(ValueError):
+            self.geometry.check_node((99, 0))
+
+
+class TestMetaIndex:
+    def test_level_major_order(self):
+        geometry = TreeGeometry(4096)
+        assert geometry.meta_index((0, 0)) == 0
+        assert geometry.meta_index((1, 0)) == geometry.level_counts[0]
+
+    @given(st.integers(min_value=8, max_value=100000), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_meta_index_bijective(self, lines, data):
+        geometry = TreeGeometry(lines)
+        index = data.draw(st.integers(
+            min_value=0, max_value=geometry.total_nodes - 1))
+        node = geometry.node_at(index)
+        assert geometry.meta_index(node) == index
+
+    @given(st.integers(min_value=8, max_value=100000), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_parent_child_inverse(self, lines, data):
+        geometry = TreeGeometry(lines)
+        level = data.draw(st.integers(
+            min_value=0, max_value=geometry.top_level - 1))\
+            if geometry.num_levels > 1 else 0
+        if geometry.num_levels == 1:
+            return
+        index = data.draw(st.integers(
+            min_value=0, max_value=geometry.level_counts[level] - 1))
+        parent = geometry.parent_of((level, index))
+        children = geometry.children_of(parent)
+        assert index in children
+        slot = geometry.slot_in_parent((level, index))
+        assert children[slot] == index
+
+    @given(st.integers(min_value=8, max_value=100000), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_data_line_covered_by_its_counter_block(self, lines, data):
+        geometry = TreeGeometry(lines)
+        line = data.draw(st.integers(min_value=0, max_value=lines - 1))
+        block = geometry.counter_block_for(line)
+        children = geometry.children_of(block)
+        assert line in children
+        assert children[geometry.data_slot(line)] == line

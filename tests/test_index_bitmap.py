@@ -1,0 +1,158 @@
+"""Unit + property tests for the multi-layer index and bitmap manager."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmap import BitmapLineManager, stale_lines_list
+from repro.core.index import MultiLayerIndex
+from repro.mem.nvm import NVM
+from repro.sim.registers import OnChipRegisters
+
+
+class TestMultiLayerIndex:
+    def test_single_layer_on_chip(self):
+        index = MultiLayerIndex(100, fanout=512)
+        assert index.num_layers == 1
+        assert index.is_on_chip(1)
+
+    def test_two_layers(self):
+        index = MultiLayerIndex(1000, fanout=512)
+        assert index.num_layers == 2
+        assert not index.is_on_chip(1)
+        assert index.is_on_chip(2)
+
+    def test_paper_scale_needs_three_layers(self):
+        """~2 GB of metadata -> 3 layers (Section III-D)."""
+        index = MultiLayerIndex(2 ** 25, fanout=512)
+        assert index.num_layers == 3
+
+    def test_l1_position(self):
+        index = MultiLayerIndex(2000, fanout=512)
+        assert index.l1_position(0) == (0, 0)
+        assert index.l1_position(513) == (1, 1)
+
+    def test_parent_position(self):
+        index = MultiLayerIndex(512 * 600, fanout=512)
+        assert index.parent_position(1, 513) == (1, 1)
+
+    def test_parent_of_top_rejected(self):
+        index = MultiLayerIndex(100, fanout=512)
+        with pytest.raises(ValueError):
+            index.parent_position(1, 0)
+
+    def test_covered_range_clamped_at_edge(self):
+        index = MultiLayerIndex(1000, fanout=512)
+        assert index.covered_range(1, 1) == (512, 1000)
+
+    def test_all_lines_enumeration(self):
+        index = MultiLayerIndex(1000, fanout=512)
+        assert list(index.all_lines()) == [(1, 0), (1, 1), (2, 0)]
+
+    def test_bounds_checks(self):
+        index = MultiLayerIndex(1000, fanout=512)
+        with pytest.raises(ValueError):
+            index.l1_position(1000)
+        with pytest.raises(ValueError):
+            index.lines_in_layer(3)
+
+
+def make_manager(total_lines=2000, fanout=64, adr_lines=4):
+    nvm = NVM()
+    registers = OnChipRegisters()
+    index = MultiLayerIndex(total_lines, fanout=fanout)
+    manager = BitmapLineManager(index, nvm, registers, adr_lines)
+    return manager, nvm, registers, index
+
+
+class TestBitmapManager:
+    def test_mark_and_query(self):
+        manager, _nvm, _registers, _index = make_manager()
+        manager.mark_stale(70)
+        assert manager.is_stale(70)
+        assert not manager.is_stale(71)
+
+    def test_mark_fresh_clears(self):
+        manager, _nvm, _registers, _index = make_manager()
+        manager.mark_stale(70)
+        manager.mark_fresh(70)
+        assert not manager.is_stale(70)
+
+    def test_top_layer_updates_register(self):
+        manager, _nvm, registers, _index = make_manager()
+        assert registers.index_top_line == 0
+        manager.mark_stale(70)  # L1 line 1 becomes non-zero
+        assert registers.index_top_line & (1 << 1)
+
+    def test_top_layer_clears_when_l1_line_zeroes(self):
+        manager, _nvm, registers, _index = make_manager()
+        manager.mark_stale(70)
+        manager.mark_stale(71)
+        manager.mark_fresh(70)
+        assert registers.index_top_line & (1 << 1)
+        manager.mark_fresh(71)
+        assert not registers.index_top_line & (1 << 1)
+
+    def test_adr_spills_counted(self):
+        manager, nvm, _registers, _index = make_manager(adr_lines=2)
+        # touch five distinct L1 lines -> at least three spills
+        for line in range(5):
+            manager.mark_stale(line * 64)
+        assert nvm.stats["nvm.ra_writes"] >= 3
+
+    def test_repeated_marks_do_not_propagate(self):
+        manager, nvm, _registers, _index = make_manager()
+        manager.mark_stale(70)
+        accesses = nvm.stats["adr.accesses"]
+        manager.mark_stale(70)  # bit already set: one L1 access, no more
+        assert nvm.stats["adr.accesses"] == accesses + 1
+
+    def test_crash_flush_then_walk(self):
+        manager, nvm, registers, index = make_manager()
+        for line in (3, 70, 1999):
+            manager.mark_stale(line)
+        manager.flush_on_power_failure()
+        stale = stale_lines_list(index, nvm, registers.index_top_line)
+        assert stale == [3, 70, 1999]
+
+    def test_walk_without_flush_misses_adr_residents(self):
+        """The battery flush is what makes ADR contents recoverable."""
+        manager, nvm, registers, index = make_manager(adr_lines=16)
+        manager.mark_stale(70)
+        stale = stale_lines_list(index, nvm, registers.index_top_line)
+        assert stale == []  # still sitting in ADR, not in the RA
+
+    def test_walk_reads_only_nonzero_lines(self):
+        manager, nvm, registers, index = make_manager(
+            total_lines=64 * 64 * 4, fanout=64
+        )
+        manager.mark_stale(0)
+        manager.flush_on_power_failure()
+        reads_before = nvm.stats["nvm.ra_reads"]
+        stale_lines_list(index, nvm, registers.index_top_line)
+        reads = nvm.stats["nvm.ra_reads"] - reads_before
+        # 3 layers: top on-chip, one L2 read, one L1 read
+        assert reads == 2
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1999), st.booleans()),
+    max_size=120,
+))
+@settings(max_examples=50, deadline=None)
+def test_bitmap_matches_reference_set(events):
+    """After any mark sequence + crash, the walk returns exactly the set
+    of currently-stale lines (the central Fig. 7 invariant)."""
+    manager, nvm, registers, index = make_manager(
+        total_lines=2000, fanout=64, adr_lines=3
+    )
+    reference = set()
+    for line, make_stale in events:
+        if make_stale:
+            manager.mark_stale(line)
+            reference.add(line)
+        else:
+            manager.mark_fresh(line)
+            reference.discard(line)
+    manager.flush_on_power_failure()
+    stale = stale_lines_list(index, nvm, registers.index_top_line)
+    assert stale == sorted(reference)

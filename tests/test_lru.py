@@ -1,0 +1,109 @@
+"""Unit + property tests for repro.util.lru."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.lru import LRUCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_len_and_contains(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        assert len(cache) == 1
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            LRUCache(2).get("missing")
+
+
+class TestEviction:
+    def test_lru_entry_evicted(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        evicted = cache.put("c", 3)
+        assert evicted == ("a", 1)
+        assert "a" not in cache
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        evicted = cache.put("c", 3)
+        assert evicted == ("b", 2)
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        evicted = cache.put("c", 3)
+        assert evicted == ("b", 2)
+        assert cache.get("a") == 10
+
+    def test_update_never_evicts(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        assert cache.put("a", 2) is None
+
+    def test_peek_does_not_refresh(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")
+        assert cache.put("c", 3) == ("a", 1)
+
+    def test_pop_lru(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.pop_lru() == ("a", 1)
+
+    def test_items_lru_first(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert list(cache.items()) == [("b", 2), ("a", 1)]
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from("abcdefgh"), st.integers()),
+    max_size=200,
+))
+def test_matches_reference_model(operations):
+    """The cache behaves exactly like an OrderedDict-based reference."""
+    capacity = 3
+    cache = LRUCache(capacity)
+    model: "OrderedDict[str, int]" = OrderedDict()
+    for key, value in operations:
+        cache.put(key, value)
+        if key in model:
+            model.move_to_end(key)
+        model[key] = value
+        if len(model) > capacity:
+            model.popitem(last=False)
+        assert len(cache) == len(model)
+        assert set(cache) == set(model)
+        assert list(cache.items()) == list(model.items())

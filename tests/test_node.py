@@ -1,0 +1,117 @@
+"""Unit + property tests for node/data line images and cached nodes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import COUNTER_BITS, LSB_BITS, MAC_BITS, TREE_ARITY
+from repro.tree.node import (
+    CachedNode,
+    DataLineImage,
+    NodeImage,
+    pack_mac_field,
+    unpack_mac_field,
+)
+
+
+class TestMacField:
+    @given(st.integers(min_value=0, max_value=(1 << MAC_BITS) - 1),
+           st.integers(min_value=0, max_value=(1 << LSB_BITS) - 1))
+    def test_pack_unpack_roundtrip(self, mac, lsbs):
+        assert unpack_mac_field(pack_mac_field(mac, lsbs)) == (mac, lsbs)
+
+    def test_field_is_64_bits(self):
+        field = pack_mac_field((1 << MAC_BITS) - 1, (1 << LSB_BITS) - 1)
+        assert field == (1 << 64) - 1
+
+    def test_pack_rejects_wide_mac(self):
+        with pytest.raises(ValueError):
+            pack_mac_field(1 << MAC_BITS, 0)
+
+    def test_unpack_rejects_wide_field(self):
+        with pytest.raises(ValueError):
+            unpack_mac_field(1 << 64)
+
+
+class TestNodeImage:
+    def test_zero(self):
+        image = NodeImage.zero()
+        assert image.counters == (0,) * TREE_ARITY
+        assert image.mac == 0
+        assert image.lsbs == 0
+
+    def test_rejects_wrong_counter_count(self):
+        with pytest.raises(ValueError):
+            NodeImage(counters=(0,) * 7, mac=0, lsbs=0)
+
+    def test_rejects_wide_counter(self):
+        with pytest.raises(ValueError):
+            NodeImage(counters=(1 << COUNTER_BITS,) + (0,) * 7,
+                      mac=0, lsbs=0)
+
+    def test_rejects_wide_mac(self):
+        with pytest.raises(ValueError):
+            NodeImage(counters=(0,) * 8, mac=1 << MAC_BITS, lsbs=0)
+
+    def test_with_lsbs(self):
+        image = NodeImage.zero().with_lsbs(5)
+        assert image.lsbs == 5
+
+    def test_mac_field_combines(self):
+        image = NodeImage(counters=(0,) * 8, mac=3, lsbs=1)
+        assert image.mac_field == (3 << LSB_BITS) | 1
+
+
+class TestDataLineImage:
+    def test_accepts_valid(self):
+        image = DataLineImage(ciphertext=b"x" * 64, mac=1, lsbs=2)
+        assert image.mac_field == (1 << LSB_BITS) | 2
+
+    def test_rejects_wide_lsbs(self):
+        with pytest.raises(ValueError):
+            DataLineImage(ciphertext=b"", mac=0, lsbs=1 << LSB_BITS)
+
+
+class TestCachedNode:
+    def test_from_image_copies_counters(self):
+        image = NodeImage(counters=tuple(range(8)), mac=0, lsbs=0)
+        node = CachedNode.from_image(image)
+        assert node.counters == list(range(8))
+        assert node.persisted_counters == list(range(8))
+
+    def test_increment(self):
+        node = CachedNode.zero()
+        assert node.increment(3) == 1
+        assert node.counters[3] == 1
+        assert node.persisted_counters[3] == 0
+
+    def test_increment_bad_slot(self):
+        with pytest.raises(ValueError):
+            CachedNode.zero().increment(8)
+
+    def test_drift_tracks_unpersisted_increments(self):
+        node = CachedNode.zero()
+        node.increment(0)
+        node.increment(0)
+        node.increment(5)
+        assert node.drift(0) == 2
+        assert node.drift(5) == 1
+        assert node.max_drift() == 2
+
+    def test_mark_persisted_resets_drift(self):
+        node = CachedNode.zero()
+        node.increment(2)
+        node.mark_persisted()
+        assert node.drift(2) == 0
+        assert node.max_drift() == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        node = CachedNode.zero()
+        snap = node.snapshot()
+        node.increment(0)
+        assert snap == (0,) * 8
+
+    def test_equality_by_counters(self):
+        a, b = CachedNode.zero(), CachedNode.zero()
+        assert a == b
+        a.increment(1)
+        assert a != b

@@ -1,0 +1,87 @@
+"""Tests for the Markdown/ASCII report renderer and new CLI flags."""
+
+import json
+
+from repro.bench.cli import main as cli_main
+from repro.bench.report import (
+    render_bar_chart,
+    render_markdown_report,
+    render_markdown_table,
+)
+from repro.bench.tables import ExperimentTable
+
+
+def sample_table() -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="Fig. X", title="demo",
+        columns=["workload", "wb", "star"],
+        notes=["a note"],
+    )
+    table.add_row(workload="array", wb=1.0, star=1.1)
+    table.add_row(workload="hash", wb=1.0, star=1.4)
+    return table
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        text = render_markdown_table(sample_table())
+        assert text.startswith("## Fig. X — demo")
+        assert "| workload | wb | star |" in text
+        assert "| array | 1.000 | 1.100 |" in text
+        assert "> a note" in text
+
+    def test_report_concatenates(self):
+        text = render_markdown_report([sample_table(), sample_table()],
+                                      title="T")
+        assert text.startswith("# T")
+        assert text.count("## Fig. X") == 2
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = render_bar_chart(sample_table(), "workload",
+                                 ["wb", "star"], width=10)
+        lines = chart.splitlines()
+        star_hash = next(
+            line for line in lines[lines.index("hash"):]
+            if line.strip().startswith("star")
+        )
+        assert "#" * 10 in star_hash  # the peak value gets full width
+
+    def test_non_numeric_rows_skipped(self):
+        table = sample_table()
+        table.add_row(workload="gmean", wb="", star="")
+        chart = render_bar_chart(table, "workload", ["wb", "star"])
+        assert "gmean" not in chart
+
+    def test_empty_chart(self):
+        table = ExperimentTable("F", "t", ["a", "b"])
+        assert "no numeric rows" in render_bar_chart(table, "a", ["b"])
+
+
+class TestCliFlags:
+    def test_markdown_output(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert cli_main(["--experiment", "fig14a", "--scale", "smoke",
+                         "--markdown", str(path)]) == 0
+        text = path.read_text()
+        assert "## Fig. 14(a)" in text
+        assert "| workload | dirty_fraction |" in text
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert cli_main(["--experiment", "fig14a", "--scale", "smoke",
+                         "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload[0]["experiment"] == "Fig. 14(a)"
+
+    def test_chart_flag(self, capsys):
+        assert cli_main(["--experiment", "fig14a", "--scale", "smoke",
+                         "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+
+    def test_layout_flag(self, capsys):
+        assert cli_main(["--layout", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "sit_levels" in out

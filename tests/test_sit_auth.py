@@ -1,0 +1,90 @@
+"""Unit tests for SIT authentication (node and data MACs)."""
+
+from dataclasses import replace
+
+from repro.config import LSB_BITS
+from repro.tree.sit import SITAuthenticator
+
+KEY = b"sit-test-key"
+NODE = (2, 17)
+COUNTERS = tuple(range(10, 18))
+
+
+class TestNodeImages:
+    def setup_method(self):
+        self.auth = SITAuthenticator(KEY)
+
+    def test_image_carries_parent_lsbs(self):
+        parent_counter = 0x5AB
+        image = self.auth.make_node_image(NODE, COUNTERS, parent_counter)
+        assert image.lsbs == parent_counter & ((1 << LSB_BITS) - 1)
+
+    def test_verify_accepts_genuine(self):
+        image = self.auth.make_node_image(NODE, COUNTERS, 7)
+        assert self.auth.verify_node_image(NODE, image, 7)
+
+    def test_verify_rejects_wrong_parent_counter(self):
+        image = self.auth.make_node_image(NODE, COUNTERS, 7)
+        assert not self.auth.verify_node_image(NODE, image, 8)
+
+    def test_verify_rejects_tampered_counter(self):
+        image = self.auth.make_node_image(NODE, COUNTERS, 7)
+        counters = list(image.counters)
+        counters[3] += 1
+        forged = replace(image, counters=tuple(counters))
+        assert not self.auth.verify_node_image(NODE, forged, 7)
+
+    def test_verify_rejects_tampered_lsbs(self):
+        image = self.auth.make_node_image(NODE, COUNTERS, 7)
+        forged = replace(image, lsbs=image.lsbs ^ 1)
+        assert not self.auth.verify_node_image(NODE, forged, 7)
+
+    def test_verify_rejects_tampered_mac(self):
+        image = self.auth.make_node_image(NODE, COUNTERS, 7)
+        forged = replace(image, mac=image.mac ^ 1)
+        assert not self.auth.verify_node_image(NODE, forged, 7)
+
+    def test_verify_rejects_relocated_node(self):
+        """The node address is part of the MAC (splicing defence)."""
+        image = self.auth.make_node_image(NODE, COUNTERS, 7)
+        assert not self.auth.verify_node_image((2, 18), image, 7)
+        assert not self.auth.verify_node_image((3, 17), image, 7)
+
+    def test_different_keys_disagree(self):
+        other = SITAuthenticator(b"different")
+        image = self.auth.make_node_image(NODE, COUNTERS, 7)
+        assert not other.verify_node_image(NODE, image, 7)
+
+
+class TestDataImages:
+    def setup_method(self):
+        self.auth = SITAuthenticator(KEY)
+        self.ciphertext = bytes(range(64))
+
+    def test_image_carries_counter_lsbs(self):
+        image = self.auth.make_data_image(99, self.ciphertext, 0x7FF)
+        assert image.lsbs == 0x3FF
+
+    def test_verify_accepts_genuine(self):
+        image = self.auth.make_data_image(99, self.ciphertext, 5)
+        assert self.auth.verify_data_image(99, image, 5)
+
+    def test_verify_rejects_wrong_counter(self):
+        image = self.auth.make_data_image(99, self.ciphertext, 5)
+        assert not self.auth.verify_data_image(99, image, 6)
+
+    def test_verify_rejects_tampered_ciphertext(self):
+        image = self.auth.make_data_image(99, self.ciphertext, 5)
+        forged = replace(
+            image, ciphertext=b"\xff" + image.ciphertext[1:]
+        )
+        assert not self.auth.verify_data_image(99, forged, 5)
+
+    def test_verify_rejects_relocated_line(self):
+        image = self.auth.make_data_image(99, self.ciphertext, 5)
+        assert not self.auth.verify_data_image(100, image, 5)
+
+    def test_verify_rejects_tampered_lsbs(self):
+        image = self.auth.make_data_image(99, self.ciphertext, 5)
+        forged = replace(image, lsbs=image.lsbs ^ 0x200)
+        assert not self.auth.verify_data_image(99, forged, 5)

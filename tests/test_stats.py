@@ -1,0 +1,62 @@
+"""Unit tests for repro.util.stats."""
+
+from repro.util.stats import Stats
+
+
+class TestCounters:
+    def test_default_zero(self):
+        assert Stats().get("anything") == 0
+
+    def test_add_default_one(self):
+        stats = Stats()
+        stats.add("x")
+        assert stats.get("x") == 1
+
+    def test_add_amount(self):
+        stats = Stats()
+        stats.add("x", 5)
+        stats.add("x", 2)
+        assert stats["x"] == 7
+
+    def test_snapshot_is_copy(self):
+        stats = Stats()
+        stats.add("x")
+        snap = stats.snapshot()
+        stats.add("x")
+        assert snap == {"x": 1}
+        assert stats["x"] == 2
+
+    def test_iter_sorted(self):
+        stats = Stats()
+        stats.add("b")
+        stats.add("a")
+        assert [name for name, _ in stats] == ["a", "b"]
+
+    def test_merge(self):
+        left, right = Stats(), Stats()
+        left.add("x", 1)
+        right.add("x", 2)
+        right.add("y", 3)
+        left.merge(right)
+        assert left["x"] == 3
+        assert left["y"] == 3
+
+    def test_ratio(self):
+        stats = Stats()
+        stats.add("hits", 3)
+        stats.add("total", 4)
+        assert stats.ratio("hits", "total") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        assert Stats().ratio("a", "b") == 0.0
+
+    def test_reset(self):
+        stats = Stats()
+        stats.add("x")
+        stats.reset()
+        assert stats["x"] == 0
+
+    def test_repr_contains_counters(self):
+        stats = Stats()
+        stats.add("x", 2)
+        assert "x=2" in repr(stats)

@@ -1,0 +1,61 @@
+"""Tests for the SVG chart renderer."""
+
+import xml.dom.minidom
+
+from repro.bench.svgchart import numeric_columns, render_svg, save_svg
+from repro.bench.tables import ExperimentTable
+
+
+def sample_table() -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="Fig. T", title="demo & <chart>",
+        columns=["workload", "wb", "star", "note"],
+    )
+    table.add_row(workload="array", wb=1.0, star=1.1, note="x")
+    table.add_row(workload="hash", wb=1.0, star=1.4, note="y")
+    table.add_row(workload="gmean", wb="", star="", note="")
+    return table
+
+
+class TestRenderSvg:
+    def test_valid_xml(self):
+        document = xml.dom.minidom.parseString(
+            render_svg(sample_table())
+        )
+        assert document.documentElement.tagName == "svg"
+
+    def test_escapes_title(self):
+        svg = render_svg(sample_table())
+        assert "&amp;" in svg and "&lt;chart&gt;" in svg
+
+    def test_one_bar_per_numeric_cell(self):
+        svg = render_svg(sample_table())
+        # 2 numeric rows x 2 numeric columns + 2 legend swatches
+        assert svg.count("<rect") == 2 * 2 + 2
+
+    def test_numeric_columns_detected(self):
+        assert numeric_columns(sample_table()) == ["wb", "star"]
+
+    def test_non_numeric_rows_skipped(self):
+        svg = render_svg(sample_table())
+        assert "gmean" not in svg
+
+    def test_empty_table_placeholder(self):
+        table = ExperimentTable("F", "t", ["a", "b"])
+        assert "no numeric data" in render_svg(table)
+
+    def test_save_svg(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        save_svg(sample_table(), str(path))
+        xml.dom.minidom.parse(str(path))
+
+    def test_cli_svg_flag(self, tmp_path, capsys):
+        from repro.bench.cli import main as cli_main
+        out_dir = tmp_path / "charts"
+        assert cli_main([
+            "--experiment", "fig14a", "--scale", "smoke",
+            "--svg", str(out_dir),
+        ]) == 0
+        files = list(out_dir.glob("*.svg"))
+        assert len(files) == 1
+        xml.dom.minidom.parse(str(files[0]))

@@ -1,0 +1,75 @@
+"""Unit + property tests for counter-MAC synergization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LSB_BITS
+from repro.core.synergy import (
+    LSB_MASK,
+    LSB_SPAN,
+    counter_lsbs,
+    reconstruct_counter,
+)
+
+
+class TestCounterLsbs:
+    def test_masks_low_bits(self):
+        assert counter_lsbs(0x12345) == 0x345
+        assert counter_lsbs(0) == 0
+
+    def test_span_constants(self):
+        assert LSB_SPAN == 1 << LSB_BITS
+        assert LSB_MASK == LSB_SPAN - 1
+
+
+class TestReconstruct:
+    def test_no_drift(self):
+        assert reconstruct_counter(100, counter_lsbs(100)) == 100
+
+    def test_small_drift(self):
+        assert reconstruct_counter(100, counter_lsbs(105)) == 105
+
+    def test_wraparound_drift(self):
+        """The paper's hard case: live counter crossed a 2^10 boundary."""
+        stale = 0x3FF  # 1023
+        live = 0x401   # 1025, LSBs 0x001 < stale LSBs
+        assert reconstruct_counter(stale, counter_lsbs(live)) == live
+
+    def test_exact_boundary(self):
+        assert reconstruct_counter(0x7FF, 0x000) == 0x800
+
+    def test_maximum_recoverable_drift(self):
+        stale = 5000
+        live = stale + LSB_SPAN - 1
+        assert reconstruct_counter(stale, counter_lsbs(live)) == live
+
+    def test_drift_beyond_span_is_ambiguous(self):
+        """2^10 increments alias — exactly why STAR force-flushes."""
+        stale = 5000
+        live = stale + LSB_SPAN
+        assert reconstruct_counter(stale, counter_lsbs(live)) == stale
+
+    def test_rejects_negative_counter(self):
+        with pytest.raises(ValueError):
+            reconstruct_counter(-1, 0)
+
+    def test_rejects_wide_lsbs(self):
+        with pytest.raises(ValueError):
+            reconstruct_counter(0, LSB_SPAN)
+
+    @given(st.integers(min_value=0, max_value=2 ** 56 - LSB_SPAN),
+           st.integers(min_value=0, max_value=LSB_SPAN - 1))
+    @settings(max_examples=300)
+    def test_exact_for_any_drift_below_span(self, stale, drift):
+        """The central recovery invariant of Section III-B."""
+        live = stale + drift
+        assert reconstruct_counter(stale, counter_lsbs(live)) == live
+
+    @given(st.integers(min_value=0, max_value=2 ** 56 - 1),
+           st.integers(min_value=0, max_value=LSB_SPAN - 1))
+    @settings(max_examples=200)
+    def test_result_is_nearest_match_at_or_above_stale(self, stale, lsbs):
+        result = reconstruct_counter(stale, lsbs)
+        assert result >= stale
+        assert counter_lsbs(result) == lsbs
+        assert result - stale < LSB_SPAN

@@ -1,0 +1,80 @@
+"""Tests for multi-threaded trace interleaving (the paper's 8-thread
+benchmark setup)."""
+
+import pytest
+
+from repro.config import small_config
+from repro.sim.machine import Machine
+from repro.workloads.registry import make_threaded_trace, make_workload
+from repro.workloads.trace import Op, OpKind, interleave_traces
+
+
+class TestInterleave:
+    def test_preserves_all_ops(self):
+        a = [Op(OpKind.READ, 1), Op(OpKind.READ, 2)]
+        b = [Op(OpKind.WRITE, 3)]
+        merged = list(interleave_traces([a, b], chunk=1, seed=0))
+        assert sorted(op.addr for op in merged) == [1, 2, 3]
+
+    def test_preserves_per_thread_order(self):
+        a = [Op(OpKind.READ, addr) for addr in range(10)]
+        b = [Op(OpKind.READ, addr) for addr in range(100, 110)]
+        merged = list(interleave_traces([a, b], chunk=3, seed=1))
+        thread_a = [op.addr for op in merged if op.addr < 100]
+        thread_b = [op.addr for op in merged if op.addr >= 100]
+        assert thread_a == list(range(10))
+        assert thread_b == list(range(100, 110))
+
+    def test_deterministic_per_seed(self):
+        def traces():
+            return [[Op(OpKind.READ, addr) for addr in range(5)],
+                    [Op(OpKind.READ, addr) for addr in range(10, 15)]]
+        first = list(interleave_traces(traces(), seed=3))
+        second = list(interleave_traces(traces(), seed=3))
+        assert first == second
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            list(interleave_traces([[]], chunk=0))
+
+
+class TestThreadedTrace:
+    def test_threads_use_disjoint_partitions(self):
+        lines = 16384
+        threads = 4
+        trace = list(make_threaded_trace(
+            "array", lines, threads=threads, operations=40,
+        ))
+        partition = lines // threads
+        occupied = {op.addr // partition for op in trace
+                    if op.kind is not OpKind.PERSIST}
+        assert occupied == set(range(threads))
+
+    def test_rejects_too_many_threads(self):
+        with pytest.raises(ValueError):
+            make_threaded_trace("array", 128, threads=8)
+
+    def test_threaded_run_crash_recovers(self):
+        machine = Machine(small_config(), scheme="star")
+        trace = make_threaded_trace(
+            "hash", machine.config.num_data_lines, threads=4,
+            operations=40,
+        )
+        machine.run(trace)
+        machine.crash()
+        report = machine.recover(raise_on_failure=True)
+        assert machine.oracle_check(report)
+
+    def test_interleaving_disrupts_locality(self):
+        """More threads touch more counter blocks for the same work."""
+        config = small_config()
+        single = Machine(config, scheme="star")
+        wl = make_workload("array", config.num_data_lines // 4,
+                           operations=160)
+        single.run(wl.ops())
+        threaded = Machine(config, scheme="star")
+        threaded.run(make_threaded_trace(
+            "array", config.num_data_lines, threads=4, operations=40,
+        ))
+        assert len(threaded.controller.meta_cache) >= \
+            len(single.controller.meta_cache)

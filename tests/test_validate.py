@@ -1,0 +1,80 @@
+"""Tests for the machine-state auditor."""
+
+from dataclasses import replace
+
+from repro.config import small_config
+from repro.sim.machine import Machine
+from repro.sim.validate import audit_machine
+
+from conftest import run_small_workload
+
+
+class TestCleanMachines:
+    def test_fresh_machine_is_consistent(self):
+        assert audit_machine(Machine(small_config(), "star")) == []
+
+    def test_machine_after_workload_is_consistent(self):
+        machine = Machine(small_config(), "star")
+        run_small_workload(machine, "hash", operations=250)
+        assert audit_machine(machine) == []
+
+    def test_machine_after_flush_is_consistent(self):
+        machine = Machine(small_config(), "star")
+        run_small_workload(machine, "btree", operations=150)
+        machine.controller.flush_metadata_cache()
+        assert audit_machine(machine) == []
+
+    def test_recovered_machine_is_consistent(self):
+        machine = Machine(small_config(), "star")
+        run_small_workload(machine, "hash", operations=150)
+        machine.crash()
+        machine.recover(raise_on_failure=True)
+        rebooted = Machine(machine.config, "star",
+                           registers=machine.registers, nvm=machine.nvm)
+        run_small_workload(rebooted, "array", operations=60)
+        assert audit_machine(rebooted) == []
+
+    def test_every_scheme_is_consistent(self):
+        for scheme in ("wb", "strict", "anubis", "star", "phoenix"):
+            machine = Machine(small_config(), scheme)
+            run_small_workload(machine, "queue", operations=120)
+            assert audit_machine(machine) == [], scheme
+
+
+class TestViolationsDetected:
+    def test_tampered_nvm_image_reported(self):
+        machine = Machine(small_config(), "star")
+        machine.controller.write_data(0)
+        machine.controller.flush_metadata_cache()
+        line = next(iter(machine.nvm._meta))
+        image = machine.nvm.peek_meta(line)
+        counters = list(image.counters)
+        counters[0] += 1
+        machine.nvm.tamper_meta(
+            line, replace(image, counters=tuple(counters))
+        )
+        machine.controller.meta_cache.clear()
+        findings = audit_machine(machine)
+        assert any("fails verification" in finding
+                   for finding in findings)
+
+    def test_corrupted_dirty_bit_reported(self):
+        machine = Machine(small_config(), "star")
+        machine.controller.write_data(0)
+        # force a bogus clean bit on a modified node
+        for line in machine.controller.meta_cache.dirty_lines():
+            line.dirty = False
+            break
+        findings = audit_machine(machine)
+        assert any("clean but differs" in finding
+                   for finding in findings)
+
+    def test_bitmap_divergence_reported(self):
+        machine = Machine(small_config(), "star")
+        machine.controller.write_data(0)
+        dirty_line = next(
+            iter(machine.controller.meta_cache.dirty_lines())
+        )
+        machine.scheme.bitmap.mark_fresh(dirty_line.addr)
+        findings = audit_machine(machine)
+        assert any("bitmap bit" in finding for finding in findings)

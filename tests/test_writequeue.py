@@ -1,0 +1,101 @@
+"""Unit + property tests for the write-pending queue."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.writequeue import WritePendingQueue
+
+
+class TestValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            WritePendingQueue(0, 100.0)
+
+    def test_rejects_zero_service(self):
+        with pytest.raises(ValueError):
+            WritePendingQueue(4, 0.0)
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            WritePendingQueue(4, 100.0, ports=0)
+
+
+class TestSinglePort:
+    def test_first_write_no_stall(self):
+        queue = WritePendingQueue(4, 100.0)
+        stall, completion = queue.enqueue(0.0)
+        assert stall == 0.0
+        assert completion == 100.0
+
+    def test_serialized_service(self):
+        queue = WritePendingQueue(4, 100.0)
+        queue.enqueue(0.0)
+        _stall, completion = queue.enqueue(0.0)
+        assert completion == 200.0
+
+    def test_full_queue_stalls(self):
+        queue = WritePendingQueue(2, 100.0)
+        queue.enqueue(0.0)
+        queue.enqueue(0.0)
+        stall, _completion = queue.enqueue(0.0)
+        assert stall == 100.0  # waits for the first completion
+
+    def test_retirement_frees_capacity(self):
+        queue = WritePendingQueue(2, 100.0)
+        queue.enqueue(0.0)
+        queue.enqueue(0.0)
+        stall, _completion = queue.enqueue(250.0)
+        assert stall == 0.0
+
+    def test_drain_time(self):
+        queue = WritePendingQueue(4, 100.0)
+        queue.enqueue(0.0)
+        queue.enqueue(0.0)
+        assert queue.drain_time(0.0) == 200.0
+        assert queue.drain_time(150.0) == 50.0
+        assert queue.drain_time(500.0) == 0.0
+
+    def test_reset(self):
+        queue = WritePendingQueue(4, 100.0)
+        queue.enqueue(0.0)
+        queue.reset()
+        assert len(queue) == 0
+        assert queue.drain_time(0.0) == 0.0
+
+
+class TestMultiPort:
+    def test_parallel_service(self):
+        queue = WritePendingQueue(8, 100.0, ports=2)
+        _s1, c1 = queue.enqueue(0.0)
+        _s2, c2 = queue.enqueue(0.0)
+        _s3, c3 = queue.enqueue(0.0)
+        assert c1 == 100.0
+        assert c2 == 100.0  # second bank
+        assert c3 == 200.0  # waits for a bank
+
+    def test_more_ports_drain_faster(self):
+        slow = WritePendingQueue(16, 100.0, ports=1)
+        fast = WritePendingQueue(16, 100.0, ports=4)
+        for _ in range(8):
+            slow.enqueue(0.0)
+            fast.enqueue(0.0)
+        assert fast.drain_time(0.0) < slow.drain_time(0.0)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=50.0),
+                max_size=100),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_completions_monotonic_and_stalls_nonnegative(gaps, ports):
+    """Completion times never go backwards; stalls are never negative."""
+    queue = WritePendingQueue(4, 30.0, ports=ports)
+    now = 0.0
+    last_completion = 0.0
+    for gap in gaps:
+        now += gap
+        stall, completion = queue.enqueue(now)
+        assert stall >= 0.0
+        assert completion >= last_completion
+        assert completion >= now
+        last_completion = completion
+        now += stall
