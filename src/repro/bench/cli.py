@@ -92,6 +92,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--layout", action="store_true",
         help="print the memory layout (Table I companion) and exit",
     )
+    parser.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="additionally run one instrumented STAR crash+recovery at "
+             "the chosen scale and write metrics.json / metrics.prom / "
+             "events.jsonl / spans.txt into DIR",
+    )
     args = parser.parse_args(argv)
 
     if args.layout:
@@ -103,7 +109,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("%-24s %s" % (key, value))
         return 0
 
-    started = time.time()
+    # perf_counter: monotonic, immune to wall-clock adjustments
+    started = time.perf_counter()
     if args.experiment == "all":
         tables = experiments.run_all(scale=args.scale, seed=args.seed)
     else:
@@ -157,8 +164,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, default=str)
         print("wrote %s" % args.json)
-    print("completed in %.1fs" % (time.time() - started))
+    if args.telemetry:
+        _dump_telemetry(args.telemetry, scale=args.scale,
+                        seed=args.seed)
+    print("completed in %.1fs" % (time.perf_counter() - started))
     return 0
+
+
+def _dump_telemetry(directory: str, scale: str, seed: int) -> None:
+    """One instrumented STAR run: JSON + Prometheus + JSONL exports."""
+    import os
+
+    from repro.bench.runner import config_for_scale, SCALES
+    from repro.obs.export import to_json, to_prometheus_text
+    from repro.obs.render import render_span_tree
+    from repro.sim.machine import Machine
+    from repro.workloads.registry import make_workload
+
+    os.makedirs(directory, exist_ok=True)
+    config = config_for_scale(scale)
+    machine = Machine(config, scheme="star")
+    events_path = os.path.join(directory, "events.jsonl")
+    machine.stats.registry.events.open_sink(events_path)
+    workload = make_workload(
+        "hash", config.num_data_lines,
+        operations=SCALES[scale].micro_operations, seed=seed,
+    )
+    machine.run(workload.ops())
+    machine.crash()
+    machine.recover()
+    machine.stats.registry.events.close_sink()
+
+    json_path = os.path.join(directory, "metrics.json")
+    with open(json_path, "w") as handle:
+        handle.write(to_json(machine.stats.registry))
+    prom_path = os.path.join(directory, "metrics.prom")
+    with open(prom_path, "w") as handle:
+        handle.write(to_prometheus_text(machine.stats.registry))
+        handle.write(to_prometheus_text(
+            machine.recovery_stats.registry,
+            namespace="star_recovery",
+        ))
+    spans_path = os.path.join(directory, "spans.txt")
+    with open(spans_path, "w") as handle:
+        handle.write(render_span_tree(
+            machine.recovery_stats.registry.tracer.to_list()
+        ) + "\n")
+    for path in (events_path, json_path, prom_path, spans_path):
+        print("wrote %s" % path)
 
 
 if __name__ == "__main__":

@@ -86,17 +86,31 @@ def config_for_scale(scale: str = "default",
 
 def run_one(config: SystemConfig, scheme: str, workload: str,
             operations: int, seed: int = 42,
-            crash_and_recover: bool = False) -> RunResult:
-    """Run one workload under one scheme; optionally crash + recover."""
-    machine = Machine(config, scheme=scheme)
-    bench = make_workload(
-        workload, config.num_data_lines, operations=operations, seed=seed
-    )
-    machine.run(bench.ops())
-    recovery = None
-    if crash_and_recover:
-        machine.crash()
-        recovery = machine.recover()
+            crash_and_recover: bool = False,
+            telemetry: bool = True,
+            events_jsonl: Optional[str] = None) -> RunResult:
+    """Run one workload under one scheme; optionally crash + recover.
+
+    Telemetry (histograms, spans, the structured event log) is on by
+    default and lands in ``RunResult.extras["telemetry"]``;
+    ``events_jsonl`` additionally streams the event log to a JSONL file
+    while the run executes.
+    """
+    machine = Machine(config, scheme=scheme, telemetry=telemetry)
+    if events_jsonl is not None:
+        machine.stats.registry.events.open_sink(events_jsonl)
+    try:
+        bench = make_workload(
+            workload, config.num_data_lines, operations=operations,
+            seed=seed
+        )
+        machine.run(bench.ops())
+        recovery = None
+        if crash_and_recover:
+            machine.crash()
+            recovery = machine.recover()
+    finally:
+        machine.stats.registry.events.close_sink()
     return machine.result(workload, recovery=recovery)
 
 

@@ -57,6 +57,7 @@ class BitmapLineManager:
         new_word = set_bit(word, bit) if value else clear_bit(word, bit)
         if new_word == word:
             return
+        self.stats.add("bitmap.line_updates.l%d" % layer)
         self._store(layer, line, new_word)
         # propagate zero/non-zero transitions into the layer above
         if layer < self.index.top_layer:

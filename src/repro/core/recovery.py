@@ -34,7 +34,7 @@ from repro.config import SystemConfig
 from repro.core.bitmap import stale_lines_list
 from repro.core.cachetree import CacheTree
 from repro.core.index import MultiLayerIndex
-from repro.core.synergy import reconstruct_counter
+from repro.core.synergy import reconstruct_counter_observed
 from repro.errors import VerificationError
 from repro.mem.layout import MemoryLayout
 from repro.mem.nvm import NVM
@@ -56,53 +56,74 @@ def recover_star(config: SystemConfig, nvm: NVM,
     index = MultiLayerIndex(
         geometry.total_nodes, config.star.bitmap_fanout
     )
+    stats = nvm.stats
     reads_before = nvm.total_reads()
     writes_before = nvm.total_writes()
 
-    # phase 1: locate the stale metadata
-    stale = stale_lines_list(index, nvm, registers.index_top_line)
-    stale_set = set(stale)
+    with stats.span("recovery.star") as root_span:
+        # phase 1: locate the stale metadata
+        with stats.span("recovery.locate") as locate_span:
+            stale = stale_lines_list(
+                index, nvm, registers.index_top_line
+            )
+            stale_set = set(stale)
+            if locate_span is not None:
+                locate_span.attrs["lines"] = len(stale)
+        stats.observe("recovery.stale_batch", len(stale))
 
-    # phase 2: restore every stale node's counters from child LSBs
-    restored: Dict[int, Tuple[int, ...]] = {}
-    for line in stale:
-        node_id = geometry.node_at(line)
-        image, _touched = nvm.read_meta(line)
-        restored[line] = _restore_counters(geometry, nvm, node_id, image)
+        # phase 2: restore every stale node's counters from child LSBs
+        restored: Dict[int, Tuple[int, ...]] = {}
+        with stats.span("recovery.restore", lines=len(stale)):
+            for line in stale:
+                node_id = geometry.node_at(line)
+                image, _touched = nvm.read_meta(line)
+                restored[line] = _restore_counters(
+                    geometry, nvm, node_id, image, stats
+                )
+                stats.event("recover_line", meta_index=line,
+                            level=node_id[0])
 
-    # phase 3: recompute MACs (parents first available) and write back
-    restored_macs: Dict[int, int] = {}
-    for line in stale:
-        node_id = geometry.node_at(line)
-        parent_counter = _parent_counter(
-            geometry, nvm, registers, restored, stale_set, node_id
-        )
-        new_image = auth.make_node_image(
-            node_id, restored[line], parent_counter
-        )
-        nvm.write_meta(line, new_image)
-        restored_macs[line] = new_image.mac
+        # phase 3: recompute MACs (parents first available), write back
+        restored_macs: Dict[int, int] = {}
+        with stats.span("recovery.remac", lines=len(stale)):
+            for line in stale:
+                node_id = geometry.node_at(line)
+                parent_counter = _parent_counter(
+                    geometry, nvm, registers, restored, stale_set,
+                    node_id
+                )
+                new_image = auth.make_node_image(
+                    node_id, restored[line], parent_counter
+                )
+                nvm.write_meta(line, new_image)
+                restored_macs[line] = new_image.mac
 
-    # phase 4: rebuild the cache-tree and verify against the register
-    tree = CacheTree(
-        config.crypto_key, config.metadata_cache.num_sets,
-        config.star.cache_tree_arity,
-    )
-    root = tree.root_from_entries(sorted(restored_macs.items()))
-    verified = root == registers.cache_tree_root
+        # phase 4: rebuild the cache-tree, verify against the register
+        with stats.span("recovery.verify") as verify_span:
+            tree = CacheTree(
+                config.crypto_key, config.metadata_cache.num_sets,
+                config.star.cache_tree_arity,
+            )
+            root = tree.root_from_entries(sorted(restored_macs.items()))
+            verified = root == registers.cache_tree_root
+            if verify_span is not None:
+                verify_span.attrs["verified"] = verified
 
-    if verified:
-        # the restored lines are no longer stale: clear the index so a
-        # later crash does not claim them again (done alongside the
-        # restored-node write-backs; the RA lines are rewritten in place)
-        for key in index.all_lines():
-            if not index.is_on_chip(key[0]) and nvm.peek_ra(key):
-                nvm.flush_ra(key, 0)
-        registers.index_top_line = 0
-        # the rebooted machine starts with an empty (all-clean) cache;
-        # re-arm the root register accordingly so an immediate second
-        # crash-recovery cycle verifies trivially
-        registers.cache_tree_root = tree.root_from_entries([])
+        if verified:
+            # the restored lines are no longer stale: clear the index
+            # so a later crash does not claim them again (done alongside
+            # the restored-node write-backs; the RA lines are rewritten
+            # in place)
+            for key in index.all_lines():
+                if not index.is_on_chip(key[0]) and nvm.peek_ra(key):
+                    nvm.flush_ra(key, 0)
+            registers.index_top_line = 0
+            # the rebooted machine starts with an empty (all-clean)
+            # cache; re-arm the root register accordingly so an
+            # immediate second crash-recovery cycle verifies trivially
+            registers.cache_tree_root = tree.root_from_entries([])
+        if root_span is not None:
+            root_span.attrs["verified"] = verified
 
     reads = nvm.total_reads() - reads_before
     writes = nvm.total_writes() - writes_before
@@ -124,7 +145,7 @@ def recover_star(config: SystemConfig, nvm: NVM,
 
 
 def _restore_counters(geometry: TreeGeometry, nvm: NVM, node_id: NodeId,
-                      image) -> Tuple[int, ...]:
+                      image, stats=None) -> Tuple[int, ...]:
     """Phase-2 reconstruction of one node's eight counters."""
     level, _index = node_id
     children = geometry.children_of(node_id)
@@ -146,7 +167,9 @@ def _restore_counters(geometry: TreeGeometry, nvm: NVM, node_id: NodeId,
             # the child was never persisted, so this counter never moved
             counters.append(stale_counter)
         else:
-            counters.append(reconstruct_counter(stale_counter, lsbs))
+            counters.append(
+                reconstruct_counter_observed(stale_counter, lsbs, stats)
+            )
     return tuple(counters)
 
 

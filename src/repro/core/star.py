@@ -54,6 +54,9 @@ class StarScheme(PersistenceScheme):
             self.bitmap.mark_fresh(meta_index)
 
     def on_crash(self) -> None:
+        self.controller.stats.event(
+            "adr_flush", resident_lines=len(self.bitmap.adr)
+        )
         self.bitmap.flush_on_power_failure()
 
     def recover(self, machine) -> RecoveryReport:

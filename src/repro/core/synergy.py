@@ -48,3 +48,22 @@ def reconstruct_counter(stale_counter: int, lsbs: int) -> int:
     if candidate < stale_counter:
         candidate += LSB_SPAN
     return candidate
+
+
+def reconstruct_counter_observed(stale_counter: int, lsbs: int,
+                                 stats=None) -> int:
+    """:func:`reconstruct_counter` plus telemetry.
+
+    When ``stats`` (a :class:`~repro.util.stats.Stats`) is given,
+    records the recovered drift (``live - stale``) in the
+    ``synergy.reconstruct_drift`` histogram and counts LSB wrap-arounds
+    (``synergy.lsb_wraps``) — the distribution the forced-flush
+    threshold bounds below ``2**LSB_BITS``.
+    """
+    live = reconstruct_counter(stale_counter, lsbs)
+    if stats is not None:
+        stats.add("synergy.reconstructions")
+        stats.observe("synergy.reconstruct_drift", live - stale_counter)
+        if (stale_counter & LSB_MASK) > lsbs:
+            stats.add("synergy.lsb_wraps")
+    return live

@@ -58,7 +58,11 @@ class AdrRegion:
         evicted = self._lines.put(key, value)
         if evicted is not None:
             spilled_key, spilled_value = evicted
+            self.stats.add("adr.spills")
+            self.stats.event("ra_spill", layer=spilled_key[0],
+                             index=spilled_key[1])
             self._nvm.write_ra(spilled_key, spilled_value)
+        self.stats.gauge_set("adr.resident_lines", len(self._lines))
         return value
 
     def store(self, key: BitmapLineKey, value: int) -> None:

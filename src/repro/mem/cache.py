@@ -44,7 +44,8 @@ class EvictionDeadlock(ReproError):
 class SetAssociativeCache:
     """LRU set-associative cache keyed by line address."""
 
-    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+    def __init__(self, config: CacheConfig, name: str = "cache",
+                 stats=None) -> None:
         self.config = config
         self.name = name
         self.num_sets = config.num_sets
@@ -53,6 +54,15 @@ class SetAssociativeCache:
             OrderedDict() for _ in range(self.num_sets)
         ]
         self._pinned: Dict[int, int] = {}
+        self.stats = stats
+        """Optional :class:`~repro.util.stats.Stats`; when set, the
+        ``<name>.resident_lines`` gauge tracks occupancy."""
+        self._resident = 0
+        # bound once: insert/remove run on every fill and eviction
+        self._resident_gauge = (
+            stats.registry.gauge("%s.resident_lines" % name)
+            if stats is not None and stats.enabled else None
+        )
 
     # ------------------------------------------------------------------
     # addressing
@@ -88,6 +98,9 @@ class SetAssociativeCache:
                 "%s: inserting %d into a full set" % (self.name, addr)
             )
         bucket[addr] = CacheLine(addr, payload, dirty)
+        self._resident += 1
+        if self._resident_gauge is not None:
+            self._resident_gauge.set(self._resident)
 
     def remove(self, addr: int) -> CacheLine:
         """Remove and return a resident line."""
@@ -95,6 +108,9 @@ class SetAssociativeCache:
         line = bucket.pop(addr, None)
         if line is None:
             raise KeyError("%s: line %d not resident" % (self.name, addr))
+        self._resident -= 1
+        if self._resident_gauge is not None:
+            self._resident_gauge.set(self._resident)
         return line
 
     def victim_for(self, addr: int) -> Optional[CacheLine]:
@@ -189,3 +205,6 @@ class SetAssociativeCache:
         for bucket in self._sets:
             bucket.clear()
         self._pinned.clear()
+        self._resident = 0
+        if self._resident_gauge is not None:
+            self._resident_gauge.set(0)

@@ -70,6 +70,11 @@ class NVM:
         self.stats.add("nvm.data_writes")
         self._note("w", "data", line)
         self._wear_out("data", line)
+        # the touched-lines gauge only moves on first touch
+        if line not in self._data:
+            self.stats.gauge_set(
+                "nvm.data_lines_touched", len(self._data) + 1
+            )
         self._data[line] = image
 
     def peek_data(self, line: int) -> Optional[DataLineImage]:
@@ -92,6 +97,10 @@ class NVM:
         self.stats.add("nvm.meta_writes")
         self._note("w", "meta", meta_index)
         self._wear_out("meta", meta_index)
+        if meta_index not in self._meta:
+            self.stats.gauge_set(
+                "nvm.meta_lines_touched", len(self._meta) + 1
+            )
         self._meta[meta_index] = image
 
     def flush_meta(self, meta_index: int, image: NodeImage) -> None:
@@ -117,6 +126,10 @@ class NVM:
         self.stats.add("nvm.ra_writes")
         self._note("w", "ra", key)
         self._wear_out("ra", key)
+        if key not in self._ra:
+            self.stats.gauge_set(
+                "nvm.ra_lines_touched", len(self._ra) + 1
+            )
         self._ra[key] = value
 
     def flush_ra(self, key: BitmapLineKey, value: int) -> None:
@@ -138,6 +151,10 @@ class NVM:
         self.stats.add("nvm.st_writes")
         self._note("w", "st", slot)
         self._wear_out("st", slot)
+        if slot not in self._st:
+            self.stats.gauge_set(
+                "nvm.st_slots_touched", len(self._st) + 1
+            )
         self._st[slot] = entry
 
     def clear_st(self, slot: int) -> None:

@@ -19,7 +19,7 @@ class WritePendingQueue:
     """A bounded write queue drained by ``ports`` parallel PCM banks."""
 
     def __init__(self, capacity: int, service_ns: float,
-                 ports: int = 1) -> None:
+                 ports: int = 1, stats=None) -> None:
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
         if service_ns <= 0:
@@ -29,6 +29,16 @@ class WritePendingQueue:
         self.capacity = capacity
         self.service_ns = service_ns
         self.ports = ports
+        self.stats = stats
+        """Optional :class:`~repro.util.stats.Stats`; when set, each
+        enqueue records the pre-insert occupancy in the
+        ``wpq.occupancy`` histogram and full-queue stalls bump
+        ``wpq.full_stalls``."""
+        # bound once: enqueue fires on every NVM write
+        self._occupancy_hist = (
+            stats.registry.histogram("wpq.occupancy")
+            if stats is not None and stats.enabled else None
+        )
         self._port_free_ns = [0.0] * ports
         self._completions: Deque[float] = deque()
 
@@ -48,8 +58,12 @@ class WritePendingQueue:
         writes always pick the earliest-free bank.
         """
         self._retire(now_ns)
+        if self._occupancy_hist is not None:
+            self._occupancy_hist.observe(len(self._completions))
         stall_ns = 0.0
         if len(self._completions) >= self.capacity:
+            if self.stats is not None:
+                self.stats.add("wpq.full_stalls")
             stall_ns = self._completions[0] - now_ns
             self._retire(now_ns + stall_ns)
         issue_ns = now_ns + stall_ns

@@ -1,0 +1,125 @@
+"""A bounded, causally ordered structured event log.
+
+Components emit events at the interesting state transitions of a run —
+``meta_evict``, ``force_flush``, ``ra_spill``, ``crash``,
+``recover_line`` — with arbitrary keyword fields. Events carry a
+monotonically increasing sequence number (causal order survives ring
+wraparound) and a :func:`time.perf_counter` timestamp relative to the
+log's creation.
+
+The in-memory store is a ring buffer (``collections.deque`` with
+``maxlen``): old events fall off, a ``dropped`` counter records how
+many. An opt-in file sink streams every event as one JSON line the
+moment it is emitted, so a crashed process still leaves a complete
+JSONL trail; without a sink the log costs one deque append per event.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Deque, IO, List, Optional
+
+
+class EventLog:
+    """Ring-buffered structured events with an optional JSONL sink."""
+
+    def __init__(self, capacity: int = 4096,
+                 enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError("event-log capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.seq = 0
+        self._ring: Deque[dict] = deque(maxlen=capacity)
+        self._sink: Optional[IO[str]] = None
+        self._sink_owned = False
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event; no-op while disabled."""
+        if not self.enabled:
+            return
+        event = {
+            "seq": self.seq,
+            "t": time.perf_counter() - self._t0,
+            "kind": kind,
+        }
+        event.update(fields)
+        self.seq += 1
+        self._ring.append(event)
+        if self._sink is not None:
+            self._sink.write(json.dumps(event, default=str) + "\n")
+
+    # ------------------------------------------------------------------
+    # the JSONL file sink (opt-in)
+    # ------------------------------------------------------------------
+    def open_sink(self, path: str) -> None:
+        """Stream every subsequent event to ``path`` as JSON lines."""
+        self.close_sink()
+        self._sink = open(path, "w")
+        self._sink_owned = True
+
+    def attach_sink(self, handle: IO[str]) -> None:
+        """Stream to an already open text handle (caller closes it)."""
+        self.close_sink()
+        self._sink = handle
+        self._sink_owned = False
+
+    def close_sink(self) -> None:
+        if self._sink is not None and self._sink_owned:
+            self._sink.close()
+        self._sink = None
+        self._sink_owned = False
+
+    @property
+    def sink(self) -> Optional[IO[str]]:
+        """The attached sink handle, if any (for sink sharing)."""
+        return self._sink
+
+    # ------------------------------------------------------------------
+    # inspection / export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring."""
+        return self.seq - len(self._ring)
+
+    def events(self) -> List[dict]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def tail(self, n: int) -> List[dict]:
+        """The ``n`` most recent events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]
+
+    def to_jsonl(self) -> str:
+        """The retained events as a JSONL document."""
+        return "".join(
+            json.dumps(event, default=str) + "\n" for event in self._ring
+        )
+
+    def adopt(self, other: "EventLog") -> None:
+        """Append another log's retained events (keeping their order,
+        re-sequencing into this log's numbering)."""
+        for event in other.events():
+            fields = {
+                key: value for key, value in event.items()
+                if key not in ("seq", "t")
+            }
+            kind = fields.pop("kind")
+            self.emit(kind, **fields)
+
+    def reset(self) -> None:
+        self._ring.clear()
+        self.seq = 0
+        self._t0 = time.perf_counter()

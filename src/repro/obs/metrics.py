@@ -1,0 +1,289 @@
+"""The metric registry: counters, gauges and log-scale histograms.
+
+One :class:`MetricRegistry` instance is shared by every component of a
+simulated machine (via the :class:`~repro.util.stats.Stats` facade that
+the existing code already threads everywhere). Counters keep the flat
+``subsystem.event`` namespace the seed used; gauges track instantaneous
+levels (cache occupancy, touched NVM lines); histograms record
+distributions (persist cascade depth, write-queue occupancy, recovery
+batch sizes) in power-of-two buckets so that heavy-tailed simulator
+quantities stay cheap to collect and compact to export.
+
+The registry also owns the machine's :class:`~repro.obs.tracing.SpanTracer`
+and :class:`~repro.obs.events.EventLog` so that one object is the full
+telemetry hub; disabling it (``registry.enabled = False``) turns every
+distribution/span/event call into a no-op while counters — which the
+figure reproductions depend on — keep counting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.events import EventLog
+from repro.obs.tracing import SpanTracer
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Gauge:
+    """An instantaneous level, with a high-watermark."""
+
+    __slots__ = ("name", "value", "high")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high:
+            self.high = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return "Gauge(%s=%r, high=%r)" % (self.name, self.value, self.high)
+
+
+def bucket_exponent(value: float) -> Optional[int]:
+    """The power-of-two bucket a value falls into.
+
+    A value ``v`` lands in the smallest bucket whose upper bound
+    ``2**e`` satisfies ``v <= 2**e``; values ``<= 0`` land in the
+    dedicated zero bucket (``None``).
+
+    >>> bucket_exponent(1)
+    0
+    >>> bucket_exponent(2)
+    1
+    >>> bucket_exponent(3)
+    2
+    >>> bucket_exponent(0) is None
+    True
+    """
+    if value <= 0:
+        return None
+    if isinstance(value, int):
+        return (value - 1).bit_length()
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exp
+    return exponent - 1 if mantissa == 0.5 else exponent
+
+
+class Histogram:
+    """A log-scale (power-of-two buckets) histogram.
+
+    Buckets have upper bounds ``..., 0.5, 1, 2, 4, 8, ...`` plus a
+    dedicated bucket for values ``<= 0``; only touched buckets are
+    stored, so a histogram over cascade depths costs a handful of dict
+    entries no matter how many observations it absorbs.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets",
+                 "_zero")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        # int fast path inlined: observe sits on the simulator's write
+        # path (WPQ occupancy, persist levels), so skip the call
+        if type(value) is int and value > 0:
+            exponent = (value - 1).bit_length()
+        else:
+            exponent = bucket_exponent(value)
+            if exponent is None:
+                self._zero += 1
+                return
+        self._buckets[exponent] = self._buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, count)`` per touched bucket, ascending.
+
+        The zero bucket reports an upper bound of ``0.0``.
+        """
+        out: List[Tuple[float, int]] = []
+        if self._zero:
+            out.append((0.0, self._zero))
+        for exponent in sorted(self._buckets):
+            out.append((float(2.0 ** exponent), self._buckets[exponent]))
+        return out
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, ascending,
+        ending with ``(inf, count)``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for upper, count in self.bucket_counts():
+            running += count
+            out.append((upper, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket where the
+        cumulative count first reaches ``q * count``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        threshold = q * self.count
+        for upper, cumulative in self.cumulative_buckets():
+            if cumulative >= threshold:
+                return upper if upper != math.inf else float(self.max)
+        return float(self.max)  # pragma: no cover - inf bucket catches
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for bound in ("min", "max"):
+            mine, theirs = getattr(self, bound), getattr(other, bound)
+            if theirs is not None and (
+                mine is None
+                or (bound == "min" and theirs < mine)
+                or (bound == "max" and theirs > mine)
+            ):
+                setattr(self, bound, theirs)
+        self._zero += other._zero
+        for exponent, count in other._buckets.items():
+            self._buckets[exponent] = (
+                self._buckets.get(exponent, 0) + count
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": [list(pair) for pair in self.bucket_counts()],
+        }
+
+    def __repr__(self) -> str:
+        return "Histogram(%s, n=%d, mean=%.3g)" % (
+            self.name, self.count, self.mean
+        )
+
+
+class MetricRegistry:
+    """The telemetry hub: metrics + span tracer + event log."""
+
+    def __init__(self, enabled: bool = True,
+                 event_capacity: int = 4096) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.tracer = SpanTracer(enabled=enabled)
+        self.events = EventLog(capacity=event_capacity, enabled=enabled)
+
+    # ------------------------------------------------------------------
+    # instrument accessors (create on first use)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # iteration / snapshots
+    # ------------------------------------------------------------------
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def gauges(self) -> Iterator[Tuple[str, Gauge]]:
+        for name in sorted(self._gauges):
+            yield name, self._gauges[name]
+
+    def histograms(self) -> Iterator[Tuple[str, Histogram]]:
+        for name in sorted(self._histograms):
+            yield name, self._histograms[name]
+
+    def counter_values(self) -> Dict[str, int]:
+        """Plain-dict copy of every counter (the seed ``Stats`` view)."""
+        return {
+            name: counter.value
+            for name, counter in self._counters.items()
+        }
+
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold another registry's metrics into this one.
+
+        Counters and histograms add; gauges take the other registry's
+        latest value (and the max of the high-watermarks). Spans and
+        events are adopted wholesale.
+        """
+        for name, value in other._counters.items():
+            self.counter(name).value += value.value
+        for name, gauge in other._gauges.items():
+            mine = self.gauge(name)
+            mine.value = gauge.value
+            mine.high = max(mine.high, gauge.high)
+        for name, histogram in other._histograms.items():
+            self.histogram(name).merge(histogram)
+        self.tracer.adopt(other.tracer.roots)
+        self.events.adopt(other.events)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.tracer.reset()
+        self.events.reset()
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges)
+            + len(self._histograms)
+        )

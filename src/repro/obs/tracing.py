@@ -1,0 +1,124 @@
+"""A lightweight span tracer for nested simulator phases.
+
+Usage::
+
+    with tracer.span("recovery.rebuild", lines=n):
+        ...
+
+Spans time their body with :func:`time.perf_counter`, nest into a
+structured tree (children attach to the innermost open span), record
+attributes given as keyword arguments, and — when the body raises — tag
+the span with the exception type before re-raising, so a crashed phase
+is visible in the tree exactly where it unwound.
+
+The tracer keeps a bounded list of completed root spans; overflow drops
+the oldest roots and counts them, so long grid runs cannot grow without
+bound.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed phase: name, attributes, children, outcome."""
+
+    __slots__ = ("name", "attrs", "children", "start_s", "duration_s",
+                 "error")
+
+    def __init__(self, name: str, attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.start_s = 0.0
+        self.duration_s = 0.0
+        self.error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        record: dict = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            record["error"] = self.error
+        if self.children:
+            record["children"] = [
+                child.to_dict() for child in self.children
+            ]
+        return record
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return "Span(%s, %.3gms, children=%d%s)" % (
+            self.name, self.duration_s * 1e3, len(self.children),
+            ", error=%s" % self.error if self.error else "",
+        )
+
+
+class SpanTracer:
+    """Builds a tree of timed spans via a context manager."""
+
+    def __init__(self, enabled: bool = True,
+                 max_roots: int = 256) -> None:
+        self.enabled = enabled
+        self.max_roots = max_roots
+        self.roots: List[Span] = []
+        self.dropped_roots = 0
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Optional[Span]]:
+        """Open a span; nesting and timing are automatic."""
+        if not self.enabled:
+            yield None
+            return
+        span = Span(name, attrs)
+        self._stack.append(span)
+        span.start_s = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.error = type(exc).__name__
+            raise
+        finally:
+            span.duration_s = time.perf_counter() - span.start_s
+            self._stack.pop()
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self._adopt_root(span)
+
+    def _adopt_root(self, span: Span) -> None:
+        self.roots.append(span)
+        overflow = len(self.roots) - self.max_roots
+        if overflow > 0:
+            del self.roots[:overflow]
+            self.dropped_roots += overflow
+
+    def adopt(self, spans: List[Span]) -> None:
+        """Attach completed root spans recorded by another tracer."""
+        for span in spans:
+            self._adopt_root(span)
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def to_list(self) -> List[dict]:
+        return [span.to_dict() for span in self.roots]
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+        self.dropped_roots = 0

@@ -102,29 +102,36 @@ class AnubisScheme(PersistenceScheme):
         geometry = machine.controller.geometry
         auth = machine.controller.auth
         registers = machine.registers
+        stats = nvm.stats
         reads_before = nvm.total_reads()
         writes_before = nvm.total_writes()
 
         capacity = config.metadata_cache.num_lines
         entries: Dict[int, ShadowEntry] = {}
-        for st_slot in range(capacity):
-            entry = nvm.read_st(st_slot)
-            if isinstance(entry, ShadowEntry):
-                entries[entry.meta_index] = entry
+        with stats.span("recovery.anubis.scan", slots=capacity):
+            for st_slot in range(capacity):
+                entry = nvm.read_st(st_slot)
+                if isinstance(entry, ShadowEntry):
+                    entries[entry.meta_index] = entry
+        stats.observe("recovery.stale_batch", len(entries))
 
         restored: Dict[int, Tuple[int, ...]] = {
             line: entry.counters for line, entry in entries.items()
         }
-        for line in sorted(entries):
-            node_id = geometry.node_at(line)
-            nvm.read_meta(line)  # Anubis reads the shadowed node
-            parent_counter = self._parent_counter(
-                geometry, nvm, registers, restored, node_id
-            )
-            image = auth.make_node_image(
-                node_id, restored[line], parent_counter
-            )
-            nvm.write_meta(line, image)
+        with stats.span("recovery.anubis.reinstate",
+                        lines=len(entries)):
+            for line in sorted(entries):
+                node_id = geometry.node_at(line)
+                nvm.read_meta(line)  # Anubis reads the shadowed node
+                parent_counter = self._parent_counter(
+                    geometry, nvm, registers, restored, node_id
+                )
+                image = auth.make_node_image(
+                    node_id, restored[line], parent_counter
+                )
+                nvm.write_meta(line, image)
+                stats.event("recover_line", meta_index=line,
+                            level=node_id[0])
 
         reads = nvm.total_reads() - reads_before
         writes = nvm.total_writes() - writes_before

@@ -23,6 +23,16 @@ hook                      fired when
 ``on_cache_evict``        table mirrors cache slots)
 ``on_crash``              power fails: flush whatever the scheme keeps in ADR
 ========================  ====================================================
+
+Telemetry: every hook runs with the machine's
+:class:`~repro.util.stats.Stats` at hand (``self.controller.stats``),
+whose registry also carries histograms, spans and the structured event
+log — see :mod:`repro.obs` and ``docs/observability.md`` for the naming
+conventions a scheme should follow (prefix scheme-private metrics with
+the scheme name, e.g. ``anubis.st_writes``). During :meth:`recover`,
+use ``machine.nvm.stats`` so recovery telemetry lands in the separate
+recovery namespace the machine reports under
+``RunResult.extras["telemetry"]["recovery"]``.
 """
 
 from __future__ import annotations

@@ -75,23 +75,29 @@ class PhoenixScheme(AnubisScheme):
 
         restored = dict(node_report.restored)
         probe_failures = 0
-        for index in range(geometry.level_counts[0]):
-            block_id = (0, index)
-            line = geometry.meta_index(block_id)
-            stale, _touched = nvm.read_meta(line)
-            counters, failures = self._probe_block(
-                machine, block_id, stale
-            )
-            probe_failures += failures
-            if counters == stale.counters and line not in restored:
-                continue  # nothing moved since the last persist
-            restored[line] = counters
-            parent_counter = self._parent_counter_from(
-                machine, restored, block_id
-            )
-            image = auth.make_node_image(block_id, counters,
-                                         parent_counter)
-            nvm.write_meta(line, image)
+        stats = nvm.stats
+        with stats.span("recovery.phoenix.probe",
+                        blocks=geometry.level_counts[0]) as probe_span:
+            for index in range(geometry.level_counts[0]):
+                block_id = (0, index)
+                line = geometry.meta_index(block_id)
+                stale, _touched = nvm.read_meta(line)
+                counters, failures = self._probe_block(
+                    machine, block_id, stale
+                )
+                probe_failures += failures
+                if counters == stale.counters and line not in restored:
+                    continue  # nothing moved since the last persist
+                restored[line] = counters
+                stats.event("recover_line", meta_index=line, level=0)
+                parent_counter = self._parent_counter_from(
+                    machine, restored, block_id
+                )
+                image = auth.make_node_image(block_id, counters,
+                                             parent_counter)
+                nvm.write_meta(line, image)
+            if probe_span is not None:
+                probe_span.attrs["failures"] = probe_failures
 
         reads = (nvm.total_reads() - reads_before) + \
             node_report.nvm_reads
@@ -142,6 +148,10 @@ class PhoenixScheme(AnubisScheme):
             if found is None:
                 failures += 1
             else:
+                nvm.stats.observe(
+                    "phoenix.probe_distance",
+                    found - stale.counters[slot],
+                )
                 counters[slot] = found
         return tuple(counters), failures
 

@@ -26,7 +26,7 @@ the public entry point returns.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import LINE_SIZE, LSB_BITS, SystemConfig
 from repro.core.cachetree import CacheTree
@@ -65,7 +65,7 @@ class SecureMemoryController:
                 "pin a node and its parent, which may share a set"
             )
         self.meta_cache = SetAssociativeCache(
-            config.metadata_cache, name="metadata-cache"
+            config.metadata_cache, name="meta_cache", stats=self.stats
         )
         self.cache_tree = CacheTree(
             config.crypto_key, self.meta_cache.num_sets,
@@ -74,6 +74,19 @@ class SecureMemoryController:
         self.registers = registers if registers is not None \
             else OnChipRegisters()
         self._flush_threshold = config.star.counter_flush_threshold
+        self._cascade_depth = 0
+        self._cascade_peak = 0
+        # per-persist instruments, bound once — this path is hot
+        registry = self.stats.registry
+        self._sit_level_writes: Dict[int, object] = {}
+        self._persist_level_hist = (
+            registry.histogram("sit.persist_level")
+            if registry.enabled else None
+        )
+        self._cascade_hist = (
+            registry.histogram("ctrl.cascade_depth")
+            if registry.enabled else None
+        )
         self.scheme = scheme
         scheme.attach(self)
 
@@ -108,6 +121,8 @@ class SecureMemoryController:
             self.scheme.on_data_persist(address, image)
             if block.drift(slot) >= self._flush_threshold:
                 self.stats.add("ctrl.force_flushes")
+                self.stats.event("force_flush", level=cb_id[0],
+                                 index=cb_id[1], slot=slot)
                 self._persist_node(cb_id, block, pins)
             self.scheme.after_data_write(address, cb_id)
         finally:
@@ -310,6 +325,8 @@ class SecureMemoryController:
 
     def _evict_line(self, victim: CacheLine, pins: List[int]) -> None:
         self.stats.add("ctrl.meta_evictions")
+        self.stats.event("meta_evict", addr=victim.addr,
+                         dirty=victim.dirty)
         if victim.dirty:
             # scoped pin: protect the victim only while it persists, so
             # deep cascades don't accumulate pins and starve a set
@@ -335,7 +352,26 @@ class SecureMemoryController:
         the image, so the persisted line carries — in its spare MAC bits —
         the LSBs of the parent counter value that already accounts for
         this persist (what recovery must reconstruct).
+
+        Persists nest (force flushes climb the tree; evicting a dirty
+        victim persists it, fetching *its* parent); the peak nesting
+        depth of each outermost persist is recorded in the
+        ``ctrl.cascade_depth`` histogram.
         """
+        self._cascade_depth += 1
+        if self._cascade_depth > self._cascade_peak:
+            self._cascade_peak = self._cascade_depth
+        try:
+            self._persist_node_inner(node_id, cached, pins)
+        finally:
+            self._cascade_depth -= 1
+            if self._cascade_depth == 0:
+                if self._cascade_hist is not None:
+                    self._cascade_hist.observe(self._cascade_peak)
+                self._cascade_peak = 0
+
+    def _persist_node_inner(self, node_id: NodeId, cached: CachedNode,
+                            pins: List[int]) -> None:
         addr = self.geometry.meta_index(node_id)
         if self.geometry.is_top_level(node_id):
             slot = node_id[1]
@@ -361,6 +397,8 @@ class SecureMemoryController:
                                    parent.counters[slot])
             if parent.drift(slot) >= self._flush_threshold:
                 self.stats.add("ctrl.force_flushes")
+                self.stats.event("force_flush", level=parent_id[0],
+                                 index=parent_id[1], slot=slot)
                 self._persist_node(parent_id, parent, pins)
         finally:
             self.meta_cache.unpin(parent_addr)
@@ -375,6 +413,15 @@ class SecureMemoryController:
         self.nvm.write_meta(addr, image)
         cached.mark_persisted()
         self.stats.add("ctrl.meta_persists")
+        level = node_id[0]
+        counter = self._sit_level_writes.get(level)
+        if counter is None:
+            counter = self._sit_level_writes[level] = (
+                self.stats.registry.counter("sit.level%d.writes" % level)
+            )
+        counter.inc()
+        if self._persist_level_hist is not None:
+            self._persist_level_hist.observe(level)
         self.scheme.on_metadata_persist(node_id, image)
         line = self.meta_cache.lookup(addr, touch=False)
         if line is not None and line.dirty:

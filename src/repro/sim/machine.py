@@ -38,11 +38,15 @@ class Machine:
     def __init__(self, config: SystemConfig,
                  scheme: Union[str, PersistenceScheme] = "star",
                  registers: Optional[OnChipRegisters] = None,
-                 nvm: Optional[NVM] = None) -> None:
+                 nvm: Optional[NVM] = None,
+                 telemetry: bool = True) -> None:
         """``registers`` and ``nvm`` allow booting a machine on state
-        that survived a crash (the reboot-after-recovery scenario)."""
+        that survived a crash (the reboot-after-recovery scenario).
+        ``telemetry=False`` turns off histograms/spans/events (counters
+        always count) for overhead-sensitive sweeps."""
         self.config = config
-        self.stats = Stats()
+        self.stats = Stats(enabled=telemetry)
+        self.recovery_stats: Optional[Stats] = None
         if nvm is None:
             self.nvm = NVM(self.stats)
         else:
@@ -71,7 +75,9 @@ class Machine:
                 config.nvm, config.device_banks, config.device_row_lines
             )
             self._region_bases = self._build_region_bases()
-        self.timing = TimingModel(config.cpu, config.nvm, device=device)
+        self.timing = TimingModel(
+            config.cpu, config.nvm, device=device, stats=self.stats
+        )
         self.crashed = False
         self.pre_crash_dirty: Dict[int, Tuple[int, ...]] = {}
         self._dirty_fraction_at_crash: Optional[float] = None
@@ -197,6 +203,11 @@ class Machine:
             for line in self.controller.meta_cache.dirty_lines()
         }
         self._dirty_fraction_at_crash = self.controller.dirty_fraction()
+        self.stats.event(
+            "crash",
+            dirty_lines=len(self.pre_crash_dirty),
+            dirty_fraction=round(self._dirty_fraction_at_crash, 4),
+        )
         self.controller.meta_cache.clear()
         self.hierarchy.drop()
         self.timing.wpq.reset()
@@ -206,7 +217,12 @@ class Machine:
         """Run the scheme's recovery; traffic lands in a fresh Stats."""
         if not self.crashed:
             raise RecoveryError("recover called without a crash")
-        recovery_stats = Stats()
+        recovery_stats = Stats(enabled=self.stats.enabled)
+        # keep the run's JSONL trail complete: recovery events stream
+        # into the same sink (the run log still owns and closes it)
+        run_sink = self.stats.registry.events.sink
+        if run_sink is not None:
+            recovery_stats.registry.events.attach_sink(run_sink)
         saved = self.nvm.stats
         self.nvm.stats = recovery_stats
         try:
@@ -236,6 +252,16 @@ class Machine:
         energy = energy_from_stats(
             self.stats, self.config.nvm, self.timing.now_ns
         )
+        extras: dict = {}
+        if self.stats.enabled:
+            from repro.obs.export import telemetry_snapshot
+
+            telemetry = {"run": telemetry_snapshot(self.stats.registry)}
+            if self.recovery_stats is not None:
+                telemetry["recovery"] = telemetry_snapshot(
+                    self.recovery_stats.registry
+                )
+            extras["telemetry"] = telemetry
         return RunResult(
             scheme=self.scheme.name,
             workload=workload,
@@ -253,4 +279,5 @@ class Machine:
             ),
             adr_hit_ratio=self.stats.ratio("adr.hits", "adr.accesses"),
             recovery=recovery,
+            extras=extras,
         )

@@ -24,7 +24,27 @@ class RunResult:
     dirty_fraction: float = 0.0
     adr_hit_ratio: float = 0.0
     recovery: Optional[RecoveryReport] = None
-    extras: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
+    """Free-form extensions; under ``"telemetry"`` the machine places
+    ``{"run": <snapshot>, "recovery": <snapshot>}`` dicts produced by
+    :func:`repro.obs.export.telemetry_snapshot`."""
+
+    # ------------------------------------------------------------------
+    # telemetry accessors
+    # ------------------------------------------------------------------
+    @property
+    def telemetry(self) -> Optional[dict]:
+        """The run-phase telemetry snapshot, if it was collected."""
+        bundle = self.extras.get("telemetry")
+        return bundle.get("run") if isinstance(bundle, dict) else None
+
+    @property
+    def recovery_telemetry(self) -> Optional[dict]:
+        """The recovery-phase telemetry snapshot, if a recovery ran."""
+        bundle = self.extras.get("telemetry")
+        return (
+            bundle.get("recovery") if isinstance(bundle, dict) else None
+        )
 
     # ------------------------------------------------------------------
     # derived traffic metrics (the quantities of Figs. 10/11)

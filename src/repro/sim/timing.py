@@ -27,7 +27,7 @@ class TimingModel:
 
     def __init__(self, cpu: CPUConfig, nvm: NVMTimings,
                  hit_latency_ns: Optional[Sequence[float]] = None,
-                 device=None) -> None:
+                 device=None, stats=None) -> None:
         self.cpu = cpu
         self.nvm = nvm
         self.now_ns = 0.0
@@ -36,7 +36,8 @@ class TimingModel:
         self.write_stall_ns = 0.0
         self.barrier_stall_ns = 0.0
         self.wpq = WritePendingQueue(
-            cpu.write_queue_entries, nvm.t_wr_ns, cpu.write_ports
+            cpu.write_queue_entries, nvm.t_wr_ns, cpu.write_ports,
+            stats=stats,
         )
         self.device = device
         """Optional bank-level :class:`~repro.mem.device.PCMDevice`;

@@ -1,5 +1,6 @@
-"""Command-line tools: ``star-run`` and ``star-trace``.
+"""Command-line tools: ``star-run``, ``star-stats`` and ``star-trace``.
 
 (The evaluation-reproduction CLI ``star-bench`` lives in
-:mod:`repro.bench.cli`.)
+:mod:`repro.bench.cli`; ``star-stats`` pretty-prints a run's telemetry
+— metrics, histograms, span tree, event log — from :mod:`repro.obs`.)
 """

@@ -1,45 +1,87 @@
-"""Named integer counters shared by every component of the simulator.
+"""Named counters shared by every component — now a telemetry facade.
 
 A single :class:`Stats` instance is threaded through the NVM model, the
-metadata cache, the persistence scheme and the timing model, so that every
-experiment can read one flat namespace of counters (write traffic, bitmap
-line hits, recovery reads, ...).
+metadata cache, the persistence scheme and the timing model, so that
+every experiment can read one flat namespace of counters (write traffic,
+bitmap line hits, recovery reads, ...).
+
+Since the observability rework the counters live in a
+:class:`~repro.obs.metrics.MetricRegistry`; ``Stats`` keeps the seed's
+flat-counter API as a thin compatibility facade and adds one-line access
+to the registry's richer instruments:
+
+* ``stats.observe("ctrl.cascade_depth", depth)`` — log-scale histogram,
+* ``stats.gauge_set("nvm.data_lines", n)`` — instantaneous level,
+* ``stats.event("force_flush", level=2)`` — structured event log,
+* ``with stats.span("recovery.locate"): ...`` — timed phase tree.
+
+All distribution/span/event calls no-op when the registry is disabled;
+counters always count, because the figure reproductions read them.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterator, Tuple
+
+from repro.obs.metrics import Counter, MetricRegistry
 
 
 class Stats:
-    """A flat namespace of monotonically increasing counters."""
+    """A flat namespace of counters over the machine's telemetry hub."""
 
-    def __init__(self) -> None:
-        self._counters: Dict[str, int] = defaultdict(int)
+    def __init__(self, registry: "MetricRegistry" = None,
+                 enabled: bool = True) -> None:
+        if registry is None:
+            registry = MetricRegistry(enabled=enabled)
+        self.registry = registry
 
+    # ------------------------------------------------------------------
+    # the seed counter API (unchanged semantics)
+    # ------------------------------------------------------------------
     def add(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount``."""
-        self._counters[name] += amount
+        # inlined registry.counter(): add() fires on every NVM access
+        counters = self.registry._counters
+        counter = counters.get(name)
+        if counter is None:
+            counter = counters[name] = Counter(name)
+        counter.value += amount
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never incremented)."""
-        return self._counters.get(name, 0)
+        counter = self.registry._counters.get(name)
+        return 0 if counter is None else counter.value
 
     def __getitem__(self, name: str) -> int:
         return self.get(name)
 
     def __iter__(self) -> Iterator[Tuple[str, int]]:
-        return iter(sorted(self._counters.items()))
+        return self.registry.counters()
+
+    def __len__(self) -> int:
+        """Number of distinct counters."""
+        return len(self.registry._counters)
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of all counters."""
-        return dict(self._counters)
+        return self.registry.counter_values()
+
+    def prefixed(self, prefix: str) -> Dict[str, int]:
+        """Counters of one subsystem, e.g. ``stats.prefixed("nvm.")``.
+
+        Returns a name-sorted plain dict of every counter whose name
+        starts with ``prefix``.
+        """
+        return {
+            name: value
+            for name, value in self.registry.counters()
+            if name.startswith(prefix)
+        }
 
     def merge(self, other: "Stats") -> None:
         """Add all counters of ``other`` into this instance."""
-        for name, value in other._counters.items():
-            self._counters[name] += value
+        for name, value in other.registry.counters():
+            self.registry.counter(name).value += value
 
     def ratio(self, numerator: str, denominator: str) -> float:
         """``numerator / denominator``, 0.0 when the denominator is zero."""
@@ -49,9 +91,34 @@ class Stats:
         return self.get(numerator) / denom
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self._counters.clear()
+        """Zero every counter (and the registry's other instruments)."""
+        self.registry.reset()
 
     def __repr__(self) -> str:
         parts = ", ".join("%s=%d" % kv for kv in self)
         return "Stats(%s)" % parts
+
+    # ------------------------------------------------------------------
+    # telemetry conveniences (no-ops while the registry is disabled)
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the log-scale histogram ``name``."""
+        if self.registry.enabled:
+            self.registry.histogram(name).observe(value)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (tracks a high-watermark)."""
+        if self.registry.enabled:
+            self.registry.gauge(name).set(value)
+
+    def event(self, kind: str, **fields) -> None:
+        """Append one structured event to the machine's event log."""
+        self.registry.events.emit(kind, **fields)
+
+    def span(self, name: str, **attrs):
+        """Open a timed span (context manager; spans nest)."""
+        return self.registry.tracer.span(name, **attrs)

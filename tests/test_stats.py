@@ -60,3 +60,119 @@ class TestCounters:
         stats = Stats()
         stats.add("x", 2)
         assert "x=2" in repr(stats)
+
+    def test_len_counts_distinct_counters(self):
+        stats = Stats()
+        assert len(stats) == 0
+        stats.add("a")
+        stats.add("a")
+        stats.add("b")
+        assert len(stats) == 2
+
+    def test_prefixed(self):
+        stats = Stats()
+        stats.add("nvm.data_writes", 3)
+        stats.add("nvm.meta_writes", 1)
+        stats.add("ctrl.flushes", 9)
+        assert stats.prefixed("nvm.") == {
+            "nvm.data_writes": 3,
+            "nvm.meta_writes": 1,
+        }
+        assert stats.prefixed("zz.") == {}
+
+    def test_prefixed_is_copy(self):
+        stats = Stats()
+        stats.add("nvm.x")
+        view = stats.prefixed("nvm.")
+        view["nvm.x"] = 99
+        assert stats["nvm.x"] == 1
+
+    def test_merge_empty_other(self):
+        left = Stats()
+        left.add("x", 2)
+        left.merge(Stats())
+        assert left.snapshot() == {"x": 2}
+
+    def test_merge_into_empty(self):
+        left, right = Stats(), Stats()
+        right.add("x", 4)
+        left.merge(right)
+        assert left["x"] == 4
+        # merge copies values; the source is unaffected afterwards
+        left.add("x")
+        assert right["x"] == 4
+
+    def test_merge_self_doubles(self):
+        stats = Stats()
+        stats.add("x", 3)
+        stats.merge(stats)
+        assert stats["x"] == 6
+
+    def test_snapshot_empty(self):
+        assert Stats().snapshot() == {}
+
+    def test_ratio_missing_numerator(self):
+        stats = Stats()
+        stats.add("total", 5)
+        assert stats.ratio("hits", "total") == 0.0
+
+    def test_negative_amounts_allowed(self):
+        stats = Stats()
+        stats.add("x", 5)
+        stats.add("x", -2)
+        assert stats["x"] == 3
+
+
+class TestTelemetryFacade:
+    def test_registry_is_exposed(self):
+        stats = Stats()
+        stats.add("x")
+        assert stats.registry.counter("x").value == 1
+
+    def test_observe_feeds_histogram(self):
+        stats = Stats()
+        stats.observe("depth", 3)
+        assert stats.registry.histogram("depth").count == 1
+
+    def test_gauge_set(self):
+        stats = Stats()
+        stats.gauge_set("level", 7)
+        stats.gauge_set("level", 2)
+        gauge = stats.registry.gauge("level")
+        assert gauge.value == 2 and gauge.high == 7
+
+    def test_event(self):
+        stats = Stats()
+        stats.event("force_flush", level=2)
+        (event,) = stats.registry.events.events()
+        assert event["kind"] == "force_flush" and event["level"] == 2
+
+    def test_span(self):
+        stats = Stats()
+        with stats.span("phase", n=1):
+            pass
+        assert stats.registry.tracer.roots[0].name == "phase"
+
+    def test_disabled_counters_still_count(self):
+        stats = Stats(enabled=False)
+        assert not stats.enabled
+        stats.add("x", 2)
+        stats.observe("h", 1)
+        stats.gauge_set("g", 1)
+        stats.event("ev")
+        with stats.span("s") as span:
+            assert span is None
+        assert stats["x"] == 2
+        assert len(stats.registry) == 1  # only the counter exists
+        assert len(stats.registry.events) == 0
+        assert stats.registry.tracer.roots == []
+
+    def test_reset_clears_registry(self):
+        stats = Stats()
+        stats.add("x")
+        stats.observe("h", 1)
+        stats.event("ev")
+        stats.reset()
+        assert len(stats) == 0
+        assert len(stats.registry) == 0
+        assert len(stats.registry.events) == 0
