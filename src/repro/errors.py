@@ -40,3 +40,24 @@ class VerificationError(RecoveryError):
 
 class AllocationError(ReproError):
     """The simulated persistent heap ran out of address space."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A captured trace file could not be parsed.
+
+    Derives from :class:`ValueError` as well so pre-existing callers
+    that guarded ``parse_op`` with ``except ValueError`` keep working.
+    Carries the offending line number and source label when the parse
+    failure surfaced while streaming a file.
+    """
+
+    def __init__(self, message: str, line_number: int = 0,
+                 source: str = "") -> None:
+        prefix = ""
+        if source:
+            prefix += "%s: " % source
+        if line_number:
+            prefix += "line %d: " % line_number
+        super().__init__(prefix + message)
+        self.line_number = line_number
+        self.source = source

@@ -1,0 +1,289 @@
+"""Randomized attack drawing over the :class:`~repro.sim.crash.Attacker`
+repertoire.
+
+Each attack picks its target deterministically from the case's attack
+RNG, applies the tampering through the NVM's stat-free tamper interface,
+and reports a human-readable description of what it did (or ``None``
+when the crashed machine offered no eligible target — e.g. a replay with
+no differing snapshot, or an MSB shift with nothing stale).
+
+The per-scheme repertoire (:data:`ATTACK_MATRIX`) encodes which attacks
+each scheme *claims* to detect — the §III-E/F contract the oracle
+enforces:
+
+* **star** — the full repertoire: recovery-related tampering flips the
+  cache-tree root during recovery; recovery-unrelated tampering is
+  caught on use (MAC check).
+* **anubis** / **strict** — no root commitment, but metadata is never
+  reconstructed from attacker-reachable state: direct data tampering
+  and replays are caught on first use.
+* **phoenix** — MAC corruption starves the Osiris-style counter probe
+  (detected at recovery). Replays inside the persist stride are its
+  *documented* blind spot (``test_phoenix.py``), so they are excluded
+  here rather than reported as fuzzing failures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Type
+
+from repro.core.synergy import LSB_MASK, LSB_SPAN
+from repro.sim.crash import Attacker
+
+
+class Attack:
+    """One parameterized tampering of a crashed machine's NVM."""
+
+    name: str = "abstract"
+    needs_prepare: bool = False
+    """Whether the attack snapshots pre-crash NVM state (replays)."""
+
+    def prepare(self, machine, attacker: Attacker,
+                rng: random.Random) -> None:
+        """Record mid-run state the post-crash tampering will need."""
+
+    def apply(self, machine, attacker: Attacker,
+              rng: random.Random) -> Optional[str]:
+        """Tamper with the crashed NVM; describe it, or ``None`` if no
+        eligible target existed."""
+        raise NotImplementedError
+
+
+def _stale_lines(machine) -> List[int]:
+    return sorted(machine.pre_crash_dirty)
+
+
+class MetaMsbAttack(Attack):
+    """Shift a stale node's persisted counter MSBs beyond the LSB
+    window, so reconstruction lands on a wrong counter with certainty."""
+
+    name = "meta_msb"
+
+    def apply(self, machine, attacker, rng):
+        candidates = [line for line in _stale_lines(machine)
+                      if machine.nvm.meta_is_touched(line)]
+        if not candidates:
+            return None
+        line = rng.choice(candidates)
+        slot = rng.randrange(machine.controller.geometry.arity)
+        if not attacker.corrupt_meta_counter(line, slot,
+                                             delta=LSB_SPAN):
+            return None
+        return "meta line %d slot %d MSBs shifted by %d" % (
+            line, slot, LSB_SPAN)
+
+
+class DataLsbAttack(Attack):
+    """Flip synergized LSBs of a written child of a stale counter
+    block: its parent reconstructs to a wrong counter."""
+
+    name = "data_lsbs"
+
+    def apply(self, machine, attacker, rng):
+        geometry = machine.controller.geometry
+        targets = []
+        for line in _stale_lines(machine):
+            node = geometry.node_at(line)
+            if node[0] != 0:
+                continue
+            for child in geometry.children_of(node):
+                if machine.nvm.peek_data(child) is not None:
+                    targets.append(child)
+        if not targets:
+            return None
+        child = rng.choice(sorted(set(targets)))
+        flip = 1 + rng.randrange(LSB_MASK)
+        if not attacker.corrupt_data_lsbs(child, flip=flip):
+            return None
+        return "data line %d LSBs flipped by %#x" % (child, flip)
+
+
+class DataMacAttack(Attack):
+    """Corrupt a data line's MAC side-band (recovery-unrelated for
+    STAR: caught on first use; starves Phoenix's counter probe)."""
+
+    name = "data_mac"
+
+    def apply(self, machine, attacker, rng):
+        lines = machine.nvm.data_lines()
+        if not lines:
+            return None
+        line = rng.choice(lines)
+        flip = 1 + rng.randrange(2 ** 20)
+        if not attacker.corrupt_data_mac(line, flip=flip):
+            return None
+        return "data line %d MAC flipped by %#x" % (line, flip)
+
+
+class MetaLsbAttack(Attack):
+    """Flip the LSB field of a metadata child of a stale tree node."""
+
+    name = "meta_lsbs"
+
+    def apply(self, machine, attacker, rng):
+        geometry = machine.controller.geometry
+        targets = []
+        for line in _stale_lines(machine):
+            level, _index = node = geometry.node_at(line)
+            if level < 1:
+                continue
+            for child in geometry.children_of(node):
+                child_line = geometry.meta_index((level - 1, child))
+                if machine.nvm.meta_is_touched(child_line):
+                    targets.append(child_line)
+        if not targets:
+            return None
+        child_line = rng.choice(sorted(set(targets)))
+        flip = 1 + rng.randrange(LSB_MASK)
+        if not attacker.corrupt_meta_lsbs(child_line, flip=flip):
+            return None
+        return "meta line %d LSBs flipped by %#x" % (child_line, flip)
+
+
+class BitmapHideAttack(Attack):
+    """Clear the recovery-area bitmap bit of a stale line, hiding it
+    from the recovery walk (§III-C tampering)."""
+
+    name = "bitmap_hide"
+
+    def apply(self, machine, attacker, rng):
+        index = machine.scheme.bitmap.index
+        if index.is_on_chip(1):
+            return None  # single-layer index never leaves the chip
+        stale = _stale_lines(machine)
+        if not stale:
+            return None
+        line = rng.choice(stale)
+        l1_line, bit = index.l1_position(line)
+        attacker.corrupt_bitmap_line((1, l1_line), flip_bit=bit)
+        return "bitmap bit for stale meta line %d cleared" % line
+
+
+class BitmapFakeAttack(Attack):
+    """Set the bitmap bit of a clean (persisted) line, faking an extra
+    stale location."""
+
+    name = "bitmap_fake"
+
+    def apply(self, machine, attacker, rng):
+        index = machine.scheme.bitmap.index
+        if index.is_on_chip(1):
+            return None
+        stale = set(_stale_lines(machine))
+        candidates = [
+            line for line in range(machine.controller.geometry.total_nodes)
+            if line not in stale and machine.nvm.meta_is_touched(line)
+        ]
+        if not candidates:
+            return None
+        line = rng.choice(candidates)
+        l1_line, bit = index.l1_position(line)
+        attacker.corrupt_bitmap_line((1, l1_line), flip_bit=bit)
+        return "bitmap bit for clean meta line %d faked stale" % line
+
+
+class ReplayDataAttack(Attack):
+    """Section III-E's replay: substitute an old but internally
+    consistent (data, MAC, LSB) tuple recorded mid-run."""
+
+    name = "replay_data"
+    needs_prepare = True
+    snapshot_budget = 256
+
+    def prepare(self, machine, attacker, rng):
+        lines = machine.nvm.data_lines()
+        if len(lines) > self.snapshot_budget:
+            lines = rng.sample(lines, self.snapshot_budget)
+        for line in sorted(lines):
+            attacker.snapshot_data_line(line)
+
+    def apply(self, machine, attacker, rng):
+        nvm = machine.nvm
+        geometry = machine.controller.geometry
+        candidates = [
+            line for line, old in sorted(attacker._data_snapshots.items())
+            if old is not None and old != nvm.peek_data(line)
+        ]
+        if not candidates:
+            return None
+        # prefer children of stale counter blocks: those replays feed
+        # the LSB reconstruction and only the cache-tree catches them
+        stale = set(_stale_lines(machine))
+
+        def block_is_stale(line: int) -> bool:
+            block = geometry.counter_block_for(line)
+            return geometry.meta_index(block) in stale
+
+        preferred = [line for line in candidates if block_is_stale(line)]
+        line = rng.choice(preferred if preferred else candidates)
+        if not attacker.replay_data_line(line):
+            return None
+        return "data line %d replayed with its recorded old tuple%s" % (
+            line, " (stale parent)" if block_is_stale(line) else "")
+
+
+class ReplayMetaAttack(Attack):
+    """Replay an old-but-consistent metadata node image."""
+
+    name = "replay_meta"
+    needs_prepare = True
+    snapshot_budget = 256
+
+    def prepare(self, machine, attacker, rng):
+        lines = [line for line in range(
+            machine.controller.geometry.total_nodes)
+            if machine.nvm.meta_is_touched(line)]
+        if len(lines) > self.snapshot_budget:
+            lines = rng.sample(lines, self.snapshot_budget)
+        for line in sorted(lines):
+            attacker.snapshot_meta_line(line)
+
+    def apply(self, machine, attacker, rng):
+        nvm = machine.nvm
+        candidates = [
+            line for line, old in sorted(attacker._meta_snapshots.items())
+            if old is not None and old != nvm.peek_meta(line)
+        ]
+        if not candidates:
+            return None
+        line = rng.choice(candidates)
+        if not attacker.replay_meta_line(line):
+            return None
+        return "meta line %d replayed with its recorded old image" % line
+
+
+ATTACK_CLASSES: Dict[str, Type[Attack]] = {
+    cls.name: cls for cls in (
+        MetaMsbAttack, DataLsbAttack, DataMacAttack, MetaLsbAttack,
+        BitmapHideAttack, BitmapFakeAttack, ReplayDataAttack,
+        ReplayMetaAttack,
+    )
+}
+
+ATTACK_MATRIX: Dict[str, List[str]] = {
+    "star": sorted(ATTACK_CLASSES),
+    "anubis": ["data_mac", "replay_data"],
+    "strict": ["data_mac", "replay_data"],
+    "phoenix": ["data_mac"],
+    "wb": [],  # no recovery: nothing to attack between crash and reboot
+}
+"""Scheme -> attack names whose detection the scheme guarantees (see
+module docstring). The fuzzer only injects attacks a scheme claims to
+detect; everything else would report the baseline's documented gaps as
+failures of the harness."""
+
+
+def make_attack(name: str) -> Attack:
+    try:
+        return ATTACK_CLASSES[name]()
+    except KeyError:
+        raise ValueError(
+            "unknown attack %r (choose from %s)"
+            % (name, ", ".join(sorted(ATTACK_CLASSES)))
+        ) from None
+
+
+def eligible_attacks(scheme: str) -> List[str]:
+    """The attacks the campaign may draw for ``scheme``."""
+    return list(ATTACK_MATRIX.get(scheme, []))

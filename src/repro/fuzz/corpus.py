@@ -1,0 +1,111 @@
+"""The JSONL failure corpus.
+
+A campaign streams one record per failing case into a line-oriented
+JSON file, closed with a summary record. Records are self-contained:
+a failure embeds the full :class:`FuzzCase` spec, so ``star-fuzz
+replay`` can re-execute it single-process with nothing but the corpus
+file. Files ending in ``.gz`` are transparently compressed, matching
+the trace-capture convention.
+
+Record types::
+
+    {"type": "campaign", "spec": {...}}          # header
+    {"type": "failure",  "case": {...}, ...}     # one per failing case
+    {"type": "summary",  "cases": N, ...}        # trailer
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.fuzz.executor import CaseResult
+
+PathLike = Union[str, Path]
+
+
+class CorpusFormatError(ReproError, ValueError):
+    """A corpus file held a line that is not a JSON record."""
+
+
+def _open(path: PathLike, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+class CorpusWriter:
+    """Append-only JSONL sink for one campaign's failures."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = _open(self.path, "w")
+        self.failures = 0
+
+    def _emit(self, record: Dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def write_header(self, spec_dict: Dict) -> None:
+        self._emit({"type": "campaign", "spec": spec_dict})
+
+    def write_failure(self, result: CaseResult) -> None:
+        record = result.to_dict()
+        record["type"] = "failure"
+        self._emit(record)
+        self.failures += 1
+
+    def write_summary(self, summary: Dict) -> None:
+        self._emit(dict(summary, type="summary"))
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CorpusWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_corpus(path: PathLike) -> Iterator[Dict]:
+    """Stream every record of a corpus file."""
+    with _open(path, "r") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorpusFormatError(
+                    "%s: line %d: %s" % (path, number, exc)
+                ) from None
+            if not isinstance(record, dict) or "type" not in record:
+                raise CorpusFormatError(
+                    "%s: line %d: record without a type" % (path, number)
+                )
+            yield record
+
+
+def load_failures(path: PathLike) -> List[CaseResult]:
+    """Every failure record of a corpus, as :class:`CaseResult`."""
+    return [
+        CaseResult.from_dict(record)
+        for record in read_corpus(path)
+        if record["type"] == "failure"
+    ]
+
+
+def load_summary(path: PathLike) -> Optional[Dict]:
+    """The trailing summary record, if the campaign finished."""
+    summary = None
+    for record in read_corpus(path):
+        if record["type"] == "summary":
+            summary = record
+    return summary

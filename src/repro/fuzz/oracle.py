@@ -1,0 +1,153 @@
+"""The differential oracle stack.
+
+After recovery, a case is judged by independent evidence, none of which
+trusts the scheme's own bookkeeping:
+
+1. **Invariant audit** — :func:`repro.sim.validate.audit_machine` on the
+   live machine just before the crash, and again on a machine rebooted
+   from the recovered NVM + registers (covers the §III-C ADR/recovery
+   -area state and NVM image authenticity).
+2. **Golden readback** — every data line touched before the crash is
+   read back through a rebooted controller (exercising MAC checks
+   exactly as a real restart would) and its NVM image compared against
+   a golden shadow copy taken at the instant of the crash.
+3. **Exact restore** — :meth:`Machine.oracle_check`: every pre-crash
+   dirty metadata line restored to its exact cached counters.
+4. **Detection** — when tampering was injected, *some* detector must
+   fire: recovery verification (cache-tree root mismatch), an integrity
+   error on readback ("caught on use", §III-F), or a failed NVM-image
+   authentication in the audit. A replay that recovery provably healed
+   (final state byte-identical to golden, all checks clean) is counted
+   as ``healed``, not as a violation — the system restored the truth.
+
+Any other outcome is a violation; a tampered case with no detector
+firing and a wrong final state is the big one: ``undetected-tamper``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import IntegrityError
+from repro.sim.validate import audit_machine
+
+
+@dataclass
+class Verdict:
+    """The oracle stack's judgement of one executed case."""
+
+    violations: List[Dict[str, str]] = field(default_factory=list)
+    detected_by: Optional[str] = None
+    """How injected tampering was caught: ``recovery`` (root mismatch),
+    ``on-use`` (IntegrityError on readback), ``audit`` (NVM image fails
+    authentication — the check a fetch would perform), or ``healed``
+    (recovery provably restored the exact pre-crash state)."""
+    readback_lines: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+    def add(self, kind: str, detail: str) -> None:
+        self.violations.append({"kind": kind, "detail": detail})
+
+
+def _reboot(machine):
+    """A fresh machine on the recovered NVM + registers."""
+    from repro.sim.machine import Machine
+
+    return Machine(machine.config, scheme=machine.scheme.name,
+                   registers=machine.registers, nvm=machine.nvm,
+                   telemetry=False)
+
+
+def _readback(fresh, golden) -> "tuple[List[int], List[int], int]":
+    """Read every pre-crash data line back through the controller.
+
+    Returns (lines raising IntegrityError, lines whose NVM image
+    diverged from the golden shadow copy, lines read).
+    """
+    integrity_failures: List[int] = []
+    divergent: List[int] = []
+    lines = sorted(set(golden) | set(fresh.nvm.data_lines()))
+    for line in lines:
+        try:
+            fresh.controller.read_data(line)
+        except IntegrityError:
+            integrity_failures.append(line)
+            continue
+        if fresh.nvm.peek_data(line) != golden.get(line):
+            divergent.append(line)
+    return integrity_failures, divergent, len(lines)
+
+
+def judge(machine, case, report, golden, tamper_desc: Optional[str],
+          pre_violations: List[str]) -> Verdict:
+    """Run the post-recovery oracle stack over one case."""
+    verdict = Verdict()
+    for finding in pre_violations:
+        verdict.add("pre-crash-audit", finding)
+    tampered = tamper_desc is not None
+
+    if not tampered:
+        if not report.verified:
+            verdict.add(
+                "false-positive",
+                "honest recovery failed verification (%s)" % case.case_id,
+            )
+            return verdict
+        if not machine.oracle_check(report):
+            verdict.add(
+                "restore-mismatch",
+                "recovery did not restore every pre-crash dirty line "
+                "exactly",
+            )
+        fresh = _reboot(machine)
+        for finding in audit_machine(fresh):
+            verdict.add("post-recovery-audit", finding)
+        failures, divergent, verdict.readback_lines = _readback(
+            fresh, golden
+        )
+        for line in failures:
+            verdict.add(
+                "readback-integrity",
+                "data line %d failed integrity verification after an "
+                "honest recovery" % line,
+            )
+        for line in divergent:
+            verdict.add(
+                "data-divergence",
+                "data line %d diverged from the golden shadow copy "
+                "after an honest recovery" % line,
+            )
+        return verdict
+
+    # tampering was injected: some detector must fire
+    if not report.verified:
+        verdict.detected_by = "recovery"
+        return verdict
+    fresh = _reboot(machine)
+    post_audit = audit_machine(fresh)
+    failures, divergent, verdict.readback_lines = _readback(fresh, golden)
+    if failures:
+        verdict.detected_by = "on-use"
+        return verdict
+    if any("fails verification" in finding for finding in post_audit):
+        # a metadata fetch would reject this image: latent but caught
+        verdict.detected_by = "audit"
+        return verdict
+    silently_wrong = (
+        bool(divergent)
+        or bool(post_audit)
+        or not machine.oracle_check(report)
+    )
+    if silently_wrong:
+        verdict.add(
+            "undetected-tamper",
+            "%s went undetected and left wrong state "
+            "(divergent data lines: %s)" % (tamper_desc, divergent),
+        )
+    else:
+        verdict.detected_by = "healed"
+    return verdict

@@ -15,7 +15,7 @@ that contract:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Set, Tuple
 
 from repro.mem.nvm import NVM, BitmapLineKey
 from repro.util.lru import LRUCache
@@ -30,6 +30,13 @@ class AdrRegion:
         self._lines: LRUCache[BitmapLineKey, int] = LRUCache(capacity_lines)
         self._nvm = nvm
         self.stats = stats if stats is not None else nvm.stats
+        self.spilled: Set[BitmapLineKey] = set()
+        """Lines whose *live* copy sits in the recovery area right now
+        (spilled by LRU and not since reloaded). A line must never be
+        both resident and spilled — the recovery-area copy of a resident
+        line is stale by design, and a spilled line claimed resident
+        would make the crash flush double-write it. Audited by
+        :func:`repro.sim.validate.audit_machine` (§III-C state)."""
 
     @property
     def capacity(self) -> int:
@@ -55,6 +62,7 @@ class AdrRegion:
             return self._lines.get(key)
         self.stats.add("adr.misses")
         value = self._nvm.read_ra(key)
+        self.spilled.discard(key)
         evicted = self._lines.put(key, value)
         if evicted is not None:
             spilled_key, spilled_value = evicted
@@ -62,6 +70,7 @@ class AdrRegion:
             self.stats.event("ra_spill", layer=spilled_key[0],
                              index=spilled_key[1])
             self._nvm.write_ra(spilled_key, spilled_value)
+            self.spilled.add(spilled_key)
         self.stats.gauge_set("adr.resident_lines", len(self._lines))
         return value
 

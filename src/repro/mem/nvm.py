@@ -81,6 +81,10 @@ class NVM:
         """Read without counting traffic (test oracles, attackers)."""
         return self._data.get(line)
 
+    def data_lines(self):
+        """All touched data line numbers, ascending (oracle scans)."""
+        return sorted(self._data)
+
     # ------------------------------------------------------------------
     # security metadata region
     # ------------------------------------------------------------------
@@ -138,6 +142,10 @@ class NVM:
 
     def peek_ra(self, key: BitmapLineKey) -> int:
         return self._ra.get(key, 0)
+
+    def ra_is_touched(self, key: BitmapLineKey) -> bool:
+        """Whether the recovery area holds a copy of this bitmap line."""
+        return key in self._ra
 
     # ------------------------------------------------------------------
     # Anubis shadow table region

@@ -17,6 +17,10 @@ Checked invariants:
   dirty ones differ (or have never been persisted);
 * **bitmap mirror** (STAR) — the stale bitmap equals the dirty-bit
   population of the metadata cache;
+* **ADR/recovery-area residency** (STAR, Section III-C) — a bitmap line
+  resident in the battery-backed ADR must not simultaneously be claimed
+  spilled to the recovery area, and every line claimed spilled must
+  actually have a recovery-area copy;
 * **NVM image authenticity** — every touched metadata line's MAC
   verifies against its parent's live counter.
 """
@@ -35,6 +39,7 @@ def audit_machine(machine) -> List[str]:
     violations.extend(_check_nvm_images(machine))
     if hasattr(machine.scheme, "bitmap"):
         violations.extend(_check_bitmap(machine))
+        violations.extend(_check_adr(machine))
     return violations
 
 
@@ -88,6 +93,31 @@ def _check_nvm_images(machine) -> List[str]:
             violations.append(
                 "metadata line %d: NVM image fails verification "
                 "against the live parent counter" % line
+            )
+    return violations
+
+
+def _check_adr(machine) -> List[str]:
+    """Section III-C residency: ADR and the spilled set are disjoint.
+
+    A bitmap line has exactly one live home — the battery-backed ADR
+    (resident) or the NVM recovery area (spilled). Both claims at once
+    means either the crash flush would double-write the line or a stale
+    RA copy could win during recovery.
+    """
+    violations: List[str] = []
+    adr = machine.scheme.bitmap.adr
+    for key, _value in adr.items():
+        if key in adr.spilled:
+            violations.append(
+                "bitmap line %r is resident in ADR but also claimed "
+                "spilled to the recovery area" % (key,)
+            )
+    for key in sorted(adr.spilled):
+        if key not in adr and not machine.nvm.ra_is_touched(key):
+            violations.append(
+                "bitmap line %r is claimed spilled but has no "
+                "recovery-area copy" % (key,)
             )
     return violations
 

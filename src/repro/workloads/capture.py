@@ -15,6 +15,11 @@ number. This module serializes traces to a line-oriented text format
 ``R``/``W``/``P`` are read/write/persist; writes carry ``p``
 (persistent, clwb-style) or ``s`` (scratch). Files ending in ``.gz``
 are transparently compressed.
+
+Malformed input raises :class:`~repro.errors.TraceFormatError` (a
+``ValueError`` subclass) carrying the line number and source file, so
+replay tools — and the fuzzer's corpus loader — can report exactly
+which trace line is broken instead of surfacing a bare unpacking error.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import io
 from pathlib import Path
 from typing import Iterable, Iterator, Union
 
+from repro.errors import TraceFormatError
 from repro.workloads.trace import Op, OpKind
 
 _KIND_TO_CODE = {
@@ -52,26 +58,38 @@ def format_op(op: Op) -> str:
     return line
 
 
+def _int_field(text: str, what: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise TraceFormatError(
+            "%s is not an integer: %r" % (what, text)
+        ) from None
+    if value < 0:
+        raise TraceFormatError("%s must be non-negative: %r" % (what, text))
+    return value
+
+
 def parse_op(line: str) -> Op:
-    """Inverse of :func:`format_op`."""
+    """Inverse of :func:`format_op`; raises :class:`TraceFormatError`."""
     parts = line.split()
     if not 3 <= len(parts) <= 4:
-        raise ValueError("malformed trace line: %r" % line)
+        raise TraceFormatError("malformed trace line: %r" % line)
     code = parts[0].upper()
     if code not in _CODE_TO_KIND:
-        raise ValueError("unknown op code %r" % parts[0])
+        raise TraceFormatError("unknown op code %r" % parts[0])
     kind = _CODE_TO_KIND[code]
-    addr = int(parts[1])
-    instructions = int(parts[2])
+    addr = _int_field(parts[1], "address")
+    instructions = _int_field(parts[2], "instruction gap")
     persistent = True
     if kind is OpKind.WRITE:
         if len(parts) == 4:
             flag = parts[3].lower()
             if flag not in ("p", "s"):
-                raise ValueError("bad write flag %r" % parts[3])
+                raise TraceFormatError("bad write flag %r" % parts[3])
             persistent = flag == "p"
     elif len(parts) == 4:
-        raise ValueError("only writes carry a persistence flag")
+        raise TraceFormatError("only writes carry a persistence flag")
     return Op(kind, addr, instructions, persistent)
 
 
@@ -92,13 +110,22 @@ def save_trace(ops: Iterable[Op], path: PathLike,
 def load_trace(path: PathLike) -> Iterator[Op]:
     """Stream ops back from a trace file."""
     with _open(path, "r") as handle:
-        yield from read_trace(handle)
+        yield from read_trace(handle, source=str(path))
 
 
-def read_trace(handle: io.TextIOBase) -> Iterator[Op]:
-    """Parse ops from an open text stream."""
-    for raw in handle:
+def read_trace(handle: io.TextIOBase, source: str = "") -> Iterator[Op]:
+    """Parse ops from an open text stream.
+
+    Parse failures re-raise as :class:`TraceFormatError` annotated with
+    the 1-based line number (and ``source``, when given).
+    """
+    for number, raw in enumerate(handle, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        yield parse_op(line)
+        try:
+            yield parse_op(line)
+        except TraceFormatError as exc:
+            raise TraceFormatError(
+                str(exc), line_number=number, source=source
+            ) from None

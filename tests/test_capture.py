@@ -1,11 +1,13 @@
 """Tests for trace capture/replay."""
 
+import gzip
 import io
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import small_config
+from repro.errors import ReproError, TraceFormatError
 from repro.sim.machine import Machine
 from repro.workloads.capture import (
     format_op,
@@ -49,6 +51,51 @@ class TestFormat:
         assert parsed.instructions == op.instructions
         if op.kind is OpKind.WRITE:
             assert parsed.persistent == op.persistent
+
+
+class TestTraceFormatError:
+    def test_is_both_repro_and_value_error(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            parse_op("X 1 2")
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_read_trace_reports_line_number(self):
+        stream = io.StringIO("# header\nR 1 2\n\nW 3 4 q\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(read_trace(stream))
+        assert excinfo.value.line_number == 4
+        assert "line 4" in str(excinfo.value)
+
+    def test_load_trace_reports_source_file(self, tmp_path):
+        path = tmp_path / "broken.trace"
+        path.write_text("R 1 2\nR -5 2\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(load_trace(path))
+        assert excinfo.value.source == str(path)
+        assert excinfo.value.line_number == 2
+        assert str(path) in str(excinfo.value)
+
+    def test_malformed_gzip_trace_reports_line(self, tmp_path):
+        path = tmp_path / "broken.trace.gz"
+        with gzip.open(path, "wt", encoding="ascii") as handle:
+            handle.write("R 1 2\nP 0 0 extra p\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(load_trace(path))
+        assert excinfo.value.line_number == 2
+
+    def test_specific_messages(self):
+        cases = {
+            "R one 2": "address is not an integer",
+            "R 1 -2": "instruction gap must be non-negative",
+            "Q 1 2": "unknown op code",
+            "P 1 2 p": "only writes carry a persistence flag",
+            "W 1 2 q": "bad write flag",
+        }
+        for line, fragment in cases.items():
+            with pytest.raises(TraceFormatError) as excinfo:
+                parse_op(line)
+            assert fragment in str(excinfo.value), line
 
 
 class TestFiles:

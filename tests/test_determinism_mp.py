@@ -1,0 +1,51 @@
+"""Cross-process determinism of workload generation.
+
+The fuzzer's replay contract rests on every workload producing a
+byte-identical trace for a fixed seed regardless of which process
+generates it. A spawn-started child has fresh interpreter state (no
+inherited hash seed effects, no module-level RNG reuse), so comparing
+its trace bytes against the parent's catches any hidden process-local
+nondeterminism.
+"""
+
+import multiprocessing
+
+from repro.fuzz import CampaignSpec, materialize_trace, sample_cases
+from repro.workloads.capture import format_op
+from repro.workloads.registry import ALL_WORKLOADS, make_workload
+
+NUM_LINES = 1 << 13
+OPERATIONS = 120
+SEED = 97
+
+
+def _render(name):
+    workload = make_workload(name, NUM_LINES, operations=OPERATIONS,
+                             seed=SEED)
+    return "\n".join(format_op(op) for op in workload.ops())
+
+
+def _render_case(case_dict):
+    from repro.fuzz.sampling import FuzzCase
+
+    ops = materialize_trace(FuzzCase.from_dict(case_dict))
+    return "\n".join(format_op(op) for op in ops)
+
+
+class TestCrossProcessDeterminism:
+    def test_every_workload_identical_in_spawned_child(self):
+        parent = {name: _render(name) for name in ALL_WORKLOADS}
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=2) as pool:
+            child = dict(zip(ALL_WORKLOADS,
+                             pool.map(_render, ALL_WORKLOADS)))
+        assert child == parent
+
+    def test_fuzz_case_traces_identical_in_spawned_child(self):
+        cases = sample_cases(CampaignSpec(cases=6, seed=13))
+        payloads = [case.to_dict() for case in cases]
+        parent = [_render_case(payload) for payload in payloads]
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=2) as pool:
+            child = pool.map(_render_case, payloads)
+        assert child == parent

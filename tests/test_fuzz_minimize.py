@@ -1,0 +1,105 @@
+"""End-to-end defect-injection test for the fuzzing oracle + minimizer.
+
+The campaign engine's reason to exist is catching *detection* bugs —
+recoveries that report success while the restored state is wrong. We
+prove it end-to-end with the ``skip-root-verify`` defect: a test-only
+fault injection that makes STAR recovery "forget" the cache-tree root
+comparison (the paper's §III-E recovery check). Under that defect a
+tampered recovery reports ``verified=True`` and only the differential
+oracle (golden shadow copy of the NVM) can catch it.
+"""
+
+import pytest
+
+from repro.fuzz import (
+    CampaignSpec,
+    load_artifact,
+    minimize_failure,
+    replay_artifact,
+    run_campaign,
+    run_case,
+    write_artifacts,
+)
+from repro.fuzz.cli import main as fuzz_main
+
+DEFECT_SPEC = CampaignSpec(
+    cases=40, seed=11, schemes=["star"], attack_rate=1.0,
+    defect="skip-root-verify",
+)
+
+
+@pytest.fixture(scope="module")
+def defect_failure():
+    campaign = run_campaign(DEFECT_SPEC)
+    failures = [f for f in campaign.failures
+                if f.signature == ("undetected-tamper",)]
+    assert failures, "defect campaign produced no undetected tamper"
+    return failures[0]
+
+
+class TestDefectCaught:
+    def test_honest_campaign_is_clean(self):
+        honest = run_campaign(CampaignSpec(
+            cases=12, seed=11, schemes=["star"], attack_rate=1.0,
+        ))
+        assert honest.ok, [f.violations for f in honest.failures]
+
+    def test_defect_detected_as_undetected_tamper(self, defect_failure):
+        assert defect_failure.tampered
+        assert defect_failure.verified is True  # the lie the defect tells
+        assert defect_failure.detected_by is None
+        kinds = {v["kind"] for v in defect_failure.violations}
+        assert kinds == {"undetected-tamper"}
+
+    def test_failure_replays_single_process(self, defect_failure):
+        rerun = run_case(defect_failure.case, defect=DEFECT_SPEC.defect)
+        assert rerun.signature == defect_failure.signature
+
+
+class TestMinimization:
+    def test_minimize_and_replay(self, defect_failure, tmp_path):
+        minimized = minimize_failure(
+            defect_failure.case, defect=DEFECT_SPEC.defect,
+            max_runs=150,
+        )
+        assert minimized is not None
+        assert minimized.signature == ("undetected-tamper",)
+        assert minimized.minimized_ops <= minimized.original_ops
+        assert minimized.minimized_ops < 40  # actually shrank
+
+        trace_path, meta_path = write_artifacts(minimized, tmp_path)
+        assert trace_path.name.endswith(".trace.gz")
+        case, ops, defect, signature = load_artifact(meta_path)
+        assert case == defect_failure.case
+        assert len(ops) == minimized.minimized_ops
+        assert defect == DEFECT_SPEC.defect
+
+        reproduced, observed = replay_artifact(meta_path)
+        assert reproduced, observed
+
+    def test_minimize_healthy_case_returns_none(self):
+        healthy = run_campaign(CampaignSpec(cases=2, seed=1)).results[0]
+        assert minimize_failure(healthy.case) is None
+
+
+class TestCliDefectFlow:
+    def test_run_minimize_replay_via_cli(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        artifacts = tmp_path / "artifacts"
+        code = fuzz_main([
+            "run", "--cases", "40", "--seed", "11",
+            "--schemes", "star", "--attack-rate", "1.0",
+            "--inject-defect", "skip-root-verify",
+            "--corpus", str(corpus), "--artifacts", str(artifacts),
+            "--quiet",
+        ])
+        assert code == 1  # failures found
+        metas = sorted(artifacts.glob("*.json"))
+        traces = sorted(artifacts.glob("*.trace.gz"))
+        assert metas and traces
+
+        # the corpus replays (defect re-applied from the header)
+        assert fuzz_main(["replay", str(corpus)]) == 0
+        # and so does each minimized artifact
+        for meta in metas:
+            assert fuzz_main(["replay", str(meta)]) == 0

@@ -78,3 +78,53 @@ class TestViolationsDetected:
         machine.scheme.bitmap.mark_fresh(dirty_line.addr)
         findings = audit_machine(machine)
         assert any("bitmap bit" in finding for finding in findings)
+
+
+class TestAdrConsistency:
+    """The §III-C ADR/recovery-area invariant (satellite #1)."""
+
+    @staticmethod
+    def _spilling_machine():
+        """A machine driven until its ADR has actually spilled."""
+        machine = Machine(small_config(), "star")
+        run_small_workload(machine, "hash", operations=400)
+        adr = machine.scheme.bitmap.adr
+        if not adr.spilled:  # defensive: force a spill deterministically
+            for line in range(machine.config.num_data_lines):
+                machine.controller.write_data(line)
+                if adr.spilled:
+                    break
+        assert adr.spilled, "workload never spilled the ADR"
+        return machine
+
+    def test_spilled_tracking_is_audit_clean(self):
+        machine = self._spilling_machine()
+        assert audit_machine(machine) == []
+
+    def test_resident_and_spilled_reported(self):
+        machine = self._spilling_machine()
+        adr = machine.scheme.bitmap.adr
+        resident_key = next(iter(adr.items()))[0]
+        adr.spilled.add(resident_key)
+        findings = audit_machine(machine)
+        assert any("also claimed spilled" in finding
+                   for finding in findings)
+
+    def test_spilled_without_ra_copy_reported(self):
+        machine = self._spilling_machine()
+        adr = machine.scheme.bitmap.adr
+        phantom = (0, 10 ** 9)  # never written to the recovery area
+        assert not machine.nvm.ra_is_touched(phantom)
+        adr.spilled.add(phantom)
+        findings = audit_machine(machine)
+        assert any("no recovery-area copy" in finding
+                   for finding in findings)
+
+    def test_reload_clears_spilled(self):
+        machine = self._spilling_machine()
+        adr = machine.scheme.bitmap.adr
+        key = next(iter(adr.spilled))
+        adr.load(key)
+        assert key not in adr.spilled
+        assert key in adr
+        assert audit_machine(machine) == []
