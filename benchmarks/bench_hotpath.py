@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Hot-path benchmark runner and perf-regression gate.
+
+Not a pytest-benchmark module on purpose: CI invokes it directly
+(``python benchmarks/bench_hotpath.py --check``) and fails the build
+when any scenario's calibration-normalized score regresses more than
+the threshold against the committed baseline in ``BENCH_hotpath.json``.
+
+Usage:
+    python benchmarks/bench_hotpath.py                 # measure + print
+    python benchmarks/bench_hotpath.py --check         # gate against baseline
+    python benchmarks/bench_hotpath.py --update-baseline
+    python benchmarks/bench_hotpath.py --json out.json
+
+Scenario definitions and the score normalization live in
+:mod:`repro.bench.hotpath`; ``star-bench --perf`` reuses them to append
+trajectory entries to the same file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.bench.hotpath import (  # noqa: E402
+    DEFAULT_REPEATS,
+    DEFAULT_THRESHOLD,
+    check_regression,
+    load_bench_file,
+    run_hotpath,
+    update_baseline,
+)
+
+DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "BENCH_hotpath.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="PATH",
+        help="baseline file (default: BENCH_hotpath.json at repo root)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) when a scenario regresses past the threshold",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        metavar="FRAC",
+        help="tolerated relative slowdown for --check (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write this run's scores as the new committed baseline",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS, metavar="N",
+        help="best-of-N per scenario (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", dest="json_path",
+        help="also dump this run's result to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_hotpath(repeats=args.repeats)
+
+    print("calibration: %.4f s" % result["calibration_s"])
+    print("%-16s %10s %10s" % ("scenario", "seconds", "score"))
+    for name in result["seconds"]:
+        print("%-16s %10.4f %10.2f"
+              % (name, result["seconds"][name], result["scores"][name]))
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.json_path)
+
+    if args.update_baseline:
+        update_baseline(args.baseline, result)
+        print("baseline updated: %s" % args.baseline)
+        return 0
+
+    if args.check:
+        payload = load_bench_file(args.baseline)
+        if not payload or not payload.get("baseline"):
+            print("no baseline in %s — run with --update-baseline first"
+                  % args.baseline, file=sys.stderr)
+            return 2
+        failures = check_regression(
+            result, payload["baseline"], args.threshold
+        )
+        if failures:
+            print("\nPERF REGRESSION (vs %s):" % args.baseline,
+                  file=sys.stderr)
+            for line in failures:
+                print("  " + line, file=sys.stderr)
+            print(
+                "\nIf the slowdown is intended, refresh the baseline:\n"
+                "  python benchmarks/bench_hotpath.py --update-baseline\n"
+                "and commit BENCH_hotpath.json with a note explaining why.",
+                file=sys.stderr,
+            )
+            return 1
+        print("perf gate passed (threshold %.0f%%)"
+              % (args.threshold * 100.0))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

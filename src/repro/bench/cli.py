@@ -98,7 +98,33 @@ def main(argv: Optional[List[str]] = None) -> int:
              "the chosen scale and write metrics.json / metrics.prom / "
              "events.jsonl / spans.txt into DIR",
     )
+    parser.add_argument(
+        "--perf", metavar="PATH", nargs="?", const="BENCH_hotpath.json",
+        default=None,
+        help="run the hot-path micro-benchmarks and append a trajectory "
+             "entry to PATH (default: BENCH_hotpath.json); seeds the "
+             "baseline when the file is empty, then exits",
+    )
+    parser.add_argument(
+        "--perf-note", metavar="TEXT", default="",
+        help="annotation stored with the --perf trajectory entry",
+    )
     args = parser.parse_args(argv)
+
+    if args.perf:
+        from repro.bench.hotpath import append_trajectory, run_hotpath
+
+        result = run_hotpath()
+        payload = append_trajectory(args.perf, result,
+                                    note=args.perf_note)
+        for name, score in result["scores"].items():
+            base = (payload["baseline"] or {}).get("scores", {}).get(name)
+            delta = ("%+.1f%% vs baseline" % ((score / base - 1) * 100.0)
+                     if base else "baseline seeded")
+            print("%-16s score %8.2f  (%s)" % (name, score, delta))
+        print("appended trajectory entry #%d to %s"
+              % (len(payload["trajectory"]), args.perf))
+        return 0
 
     if args.layout:
         from repro.bench.runner import config_for_scale

@@ -4,6 +4,7 @@ the persistence scheme and the recovery procedure."""
 from repro.core.bitmap import (
     BitmapLineManager,
     iter_stale_lines,
+    locate_stale_lines,
     stale_lines_list,
 )
 from repro.core.cachetree import CacheTree
@@ -26,6 +27,7 @@ __all__ = [
     "StarScheme",
     "counter_lsbs",
     "iter_stale_lines",
+    "locate_stale_lines",
     "recover_star",
     "reconstruct_counter",
     "stale_lines_list",

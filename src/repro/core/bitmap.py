@@ -16,7 +16,7 @@ only non-zero lines from the RA — the recovery-time side of Fig. 14.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.index import MultiLayerIndex
 from repro.mem.adr import AdrRegion
@@ -133,3 +133,37 @@ def stale_lines_list(index: MultiLayerIndex, nvm: NVM,
                      top_line: int) -> List[int]:
     """Materialized, sorted result of :func:`iter_stale_lines`."""
     return list(iter_stale_lines(index, nvm, top_line))
+
+
+def locate_stale_lines(
+    index: MultiLayerIndex, nvm: NVM, top_line: int,
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """The recovery locate phase: stale lines *and* the RA lines read.
+
+    Returns ``(stale_metadata_lines, nonzero_ra_keys)``. The second list
+    holds every in-NVM recovery-area line the walk read with a non-zero
+    word — exactly the lines recovery must zero afterwards so a later
+    crash does not claim the restored nodes again. Restricting the
+    clearing pass to this list (instead of sweeping the whole index) is
+    what keeps recovery cost proportional to the stale-line count
+    (Section III-F / Fig. 14b).
+    """
+    stale: List[int] = []
+    nonzero_ra: List[Tuple[int, int]] = []
+
+    def walk(layer: int, line: int) -> None:
+        if index.is_on_chip(layer):
+            word = top_line
+        else:
+            word = nvm.read_ra((layer, line))
+            if word:
+                nonzero_ra.append((layer, line))
+        base = line * index.fanout
+        for bit in iter_set_bits(word):
+            if layer == 1:
+                stale.append(base + bit)
+            else:
+                walk(layer - 1, base + bit)
+
+    walk(index.top_layer, 0)
+    return stale, nonzero_ra

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.config import SystemConfig
-from repro.core.bitmap import stale_lines_list
+from repro.core.bitmap import locate_stale_lines
 from repro.core.cachetree import CacheTree
 from repro.core.index import MultiLayerIndex
 from repro.core.synergy import reconstruct_counter_observed
@@ -61,9 +61,11 @@ def recover_star(config: SystemConfig, nvm: NVM,
     writes_before = nvm.total_writes()
 
     with stats.span("recovery.star") as root_span:
-        # phase 1: locate the stale metadata
+        # phase 1: locate the stale metadata, remembering which RA lines
+        # the walk read as non-zero — those are the only index lines that
+        # need clearing afterwards
         with stats.span("recovery.locate") as locate_span:
-            stale = stale_lines_list(
+            stale, nonzero_ra = locate_stale_lines(
                 index, nvm, registers.index_top_line
             )
             stale_set = set(stale)
@@ -110,13 +112,15 @@ def recover_star(config: SystemConfig, nvm: NVM,
                 verify_span.attrs["verified"] = verified
 
         if verified:
-            # the restored lines are no longer stale: clear the index
-            # so a later crash does not claim them again (done alongside
-            # the restored-node write-backs; the RA lines are rewritten
-            # in place)
-            for key in index.all_lines():
-                if not index.is_on_chip(key[0]) and nvm.peek_ra(key):
-                    nvm.flush_ra(key, 0)
+            # the restored lines are no longer stale: zero exactly the
+            # non-zero RA lines the locate walk visited so a later crash
+            # does not claim them again. These are real NVM writes on
+            # the recovery critical path (no battery involved), so they
+            # go through the counted write_ra — and because the walk
+            # only ever reads non-zero lines, the clearing cost scales
+            # with the stale-line count, not the index size.
+            for key in nonzero_ra:
+                nvm.write_ra(key, 0)
             registers.index_top_line = 0
             # the rebooted machine starts with an empty (all-clean)
             # cache; re-arm the root register accordingly so an
@@ -136,6 +140,7 @@ def recover_star(config: SystemConfig, nvm: NVM,
         verified=verified,
         recovery_time_ns=(reads + writes) * config.recovery_line_access_ns,
         restored=restored,
+        ra_lines_cleared=len(nonzero_ra) if verified else 0,
     )
     if raise_on_failure and not verified:
         raise VerificationError(

@@ -28,26 +28,47 @@ _STR_TAG = b"\x03"
 
 
 def _serialize(parts: Iterable[HashPart]) -> bytes:
+    # exact-type dispatch on the hot path (every MAC computation runs
+    # through here); subclasses and rejects take the isinstance slow
+    # path in _serialize_other
     chunks = []
+    append = chunks.append
     for part in parts:
-        if isinstance(part, bool):
-            raise TypeError("booleans are ambiguous hash inputs")
-        if isinstance(part, int):
+        kind = type(part)
+        if kind is int:
             if part < 0:
                 raise ValueError("hash inputs must be non-negative ints")
             body = part.to_bytes((part.bit_length() + 7) // 8 or 1, "big")
-            chunks.append(_INT_TAG)
-        elif isinstance(part, bytes):
+            append(_INT_TAG)
+        elif kind is bytes:
             body = part
-            chunks.append(_BYTES_TAG)
-        elif isinstance(part, str):
+            append(_BYTES_TAG)
+        elif kind is str:
             body = part.encode("utf-8")
-            chunks.append(_STR_TAG)
+            append(_STR_TAG)
         else:
-            raise TypeError("unsupported hash input type: %r" % type(part))
-        chunks.append(len(body).to_bytes(4, "big"))
-        chunks.append(body)
+            tag, body = _serialize_other(part)
+            append(tag)
+        append(len(body).to_bytes(4, "big"))
+        append(body)
     return b"".join(chunks)
+
+
+def _serialize_other(part: HashPart) -> tuple:
+    """Subclass / error handling for :func:`_serialize`."""
+    if isinstance(part, bool):
+        raise TypeError("booleans are ambiguous hash inputs")
+    if isinstance(part, int):
+        if part < 0:
+            raise ValueError("hash inputs must be non-negative ints")
+        return _INT_TAG, part.to_bytes(
+            (part.bit_length() + 7) // 8 or 1, "big"
+        )
+    if isinstance(part, bytes):
+        return _BYTES_TAG, part
+    if isinstance(part, str):
+        return _STR_TAG, part.encode("utf-8")
+    raise TypeError("unsupported hash input type: %r" % type(part))
 
 
 def keyed_hash(key: bytes, *parts: HashPart) -> int:

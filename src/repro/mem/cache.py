@@ -44,6 +44,9 @@ class EvictionDeadlock(ReproError):
 class SetAssociativeCache:
     """LRU set-associative cache keyed by line address."""
 
+    __slots__ = ("config", "name", "num_sets", "ways", "_sets",
+                 "_pinned", "stats", "_resident", "_resident_gauge")
+
     def __init__(self, config: CacheConfig, name: str = "cache",
                  stats=None) -> None:
         self.config = config

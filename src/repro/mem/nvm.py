@@ -18,6 +18,12 @@ Untouched lines read back as their "shredded" zero state: a fresh secure
 NVM is assumed to be initialized with zero counters (Silent Shredder);
 reads of never-written lines are flagged so the integrity machinery can
 skip MAC checks that would otherwise need a bootstrapping pass.
+
+Every access method is hot (they ARE the simulator's traffic), so the
+per-region counters are bound once as Counter objects instead of going
+through the ``Stats.add`` name lookup. ``stats`` is a property: the
+machine swaps in a fresh Stats namespace around recovery, and the setter
+rebinds the counters to the new registry.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ class NVM:
     """Sparse, stat-counting non-volatile line store."""
 
     def __init__(self, stats: Optional[Stats] = None) -> None:
-        self.stats = stats if stats is not None else Stats()
+        self._stats = stats if stats is not None else Stats()
         self._data: Dict[int, DataLineImage] = {}
         self._meta: Dict[int, NodeImage] = {}
         self._ra: Dict[BitmapLineKey, int] = {}
@@ -48,10 +54,27 @@ class NVM:
         """When set to a list, every access appends
         ``(op, region, key)`` — the address feed for the bank-level
         device timing model."""
+        self._bind_counters()
 
-    def _note(self, op: str, region: str, key) -> None:
-        if self.trace is not None:
-            self.trace.append((op, region, key))
+    @property
+    def stats(self) -> Stats:
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: Stats) -> None:
+        self._stats = value
+        self._bind_counters()
+
+    def _bind_counters(self) -> None:
+        registry = self._stats.registry
+        self._c_data_reads = registry.counter("nvm.data_reads")
+        self._c_data_writes = registry.counter("nvm.data_writes")
+        self._c_meta_reads = registry.counter("nvm.meta_reads")
+        self._c_meta_writes = registry.counter("nvm.meta_writes")
+        self._c_ra_reads = registry.counter("nvm.ra_reads")
+        self._c_ra_writes = registry.counter("nvm.ra_writes")
+        self._c_st_reads = registry.counter("nvm.st_reads")
+        self._c_st_writes = registry.counter("nvm.st_writes")
 
     def _wear_out(self, region: str, key) -> None:
         wear_key = (region, key)
@@ -62,17 +85,19 @@ class NVM:
     # ------------------------------------------------------------------
     def read_data(self, line: int) -> Optional[DataLineImage]:
         """Read a data line; ``None`` when it was never written."""
-        self.stats.add("nvm.data_reads")
-        self._note("r", "data", line)
+        self._c_data_reads.value += 1
+        if self.trace is not None:
+            self.trace.append(("r", "data", line))
         return self._data.get(line)
 
     def write_data(self, line: int, image: DataLineImage) -> None:
-        self.stats.add("nvm.data_writes")
-        self._note("w", "data", line)
+        self._c_data_writes.value += 1
+        if self.trace is not None:
+            self.trace.append(("w", "data", line))
         self._wear_out("data", line)
         # the touched-lines gauge only moves on first touch
         if line not in self._data:
-            self.stats.gauge_set(
+            self._stats.gauge_set(
                 "nvm.data_lines_touched", len(self._data) + 1
             )
         self._data[line] = image
@@ -90,19 +115,21 @@ class NVM:
     # ------------------------------------------------------------------
     def read_meta(self, meta_index: int) -> Tuple[NodeImage, bool]:
         """Read a metadata line; the flag is False for untouched lines."""
-        self.stats.add("nvm.meta_reads")
-        self._note("r", "meta", meta_index)
+        self._c_meta_reads.value += 1
+        if self.trace is not None:
+            self.trace.append(("r", "meta", meta_index))
         image = self._meta.get(meta_index)
         if image is None:
             return NodeImage.zero(), False
         return image, True
 
     def write_meta(self, meta_index: int, image: NodeImage) -> None:
-        self.stats.add("nvm.meta_writes")
-        self._note("w", "meta", meta_index)
+        self._c_meta_writes.value += 1
+        if self.trace is not None:
+            self.trace.append(("w", "meta", meta_index))
         self._wear_out("meta", meta_index)
         if meta_index not in self._meta:
-            self.stats.gauge_set(
+            self._stats.gauge_set(
                 "nvm.meta_lines_touched", len(self._meta) + 1
             )
         self._meta[meta_index] = image
@@ -122,16 +149,18 @@ class NVM:
     # recovery area (spilled bitmap lines)
     # ------------------------------------------------------------------
     def read_ra(self, key: BitmapLineKey) -> int:
-        self.stats.add("nvm.ra_reads")
-        self._note("r", "ra", key)
+        self._c_ra_reads.value += 1
+        if self.trace is not None:
+            self.trace.append(("r", "ra", key))
         return self._ra.get(key, 0)
 
     def write_ra(self, key: BitmapLineKey, value: int) -> None:
-        self.stats.add("nvm.ra_writes")
-        self._note("w", "ra", key)
+        self._c_ra_writes.value += 1
+        if self.trace is not None:
+            self.trace.append(("w", "ra", key))
         self._wear_out("ra", key)
         if key not in self._ra:
-            self.stats.gauge_set(
+            self._stats.gauge_set(
                 "nvm.ra_lines_touched", len(self._ra) + 1
             )
         self._ra[key] = value
@@ -151,16 +180,18 @@ class NVM:
     # Anubis shadow table region
     # ------------------------------------------------------------------
     def read_st(self, slot: int) -> Optional[object]:
-        self.stats.add("nvm.st_reads")
-        self._note("r", "st", slot)
+        self._c_st_reads.value += 1
+        if self.trace is not None:
+            self.trace.append(("r", "st", slot))
         return self._st.get(slot)
 
     def write_st(self, slot: int, entry: object) -> None:
-        self.stats.add("nvm.st_writes")
-        self._note("w", "st", slot)
+        self._c_st_writes.value += 1
+        if self.trace is not None:
+            self.trace.append(("w", "st", slot))
         self._wear_out("st", slot)
         if slot not in self._st:
-            self.stats.gauge_set(
+            self._stats.gauge_set(
                 "nvm.st_slots_touched", len(self._st) + 1
             )
         self._st[slot] = entry
@@ -196,17 +227,17 @@ class NVM:
     def total_writes(self) -> int:
         """All NVM line writes, every region."""
         return (
-            self.stats.get("nvm.data_writes")
-            + self.stats.get("nvm.meta_writes")
-            + self.stats.get("nvm.ra_writes")
-            + self.stats.get("nvm.st_writes")
+            self._c_data_writes.value
+            + self._c_meta_writes.value
+            + self._c_ra_writes.value
+            + self._c_st_writes.value
         )
 
     def total_reads(self) -> int:
         """All NVM line reads, every region."""
         return (
-            self.stats.get("nvm.data_reads")
-            + self.stats.get("nvm.meta_reads")
-            + self.stats.get("nvm.ra_reads")
-            + self.stats.get("nvm.st_reads")
+            self._c_data_reads.value
+            + self._c_meta_reads.value
+            + self._c_ra_reads.value
+            + self._c_st_reads.value
         )

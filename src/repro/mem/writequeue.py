@@ -18,6 +18,9 @@ from typing import Deque, Tuple
 class WritePendingQueue:
     """A bounded write queue drained by ``ports`` parallel PCM banks."""
 
+    __slots__ = ("capacity", "service_ns", "ports", "stats",
+                 "_occupancy_hist", "_port_free_ns", "_completions")
+
     def __init__(self, capacity: int, service_ns: float,
                  ports: int = 1, stats=None) -> None:
         if capacity < 1:

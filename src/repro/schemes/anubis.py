@@ -146,6 +146,7 @@ class AnubisScheme(PersistenceScheme):
                 (reads + writes) * config.recovery_line_access_ns
             ),
             restored=restored,
+            st_restored_lines=len(entries),
         )
 
     @staticmethod

@@ -63,6 +63,22 @@ class RecoveryReport:
     restored: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
     """meta_index -> restored counter tuple (test oracle)."""
 
+    ra_lines_cleared: int = 0
+    """Non-zero recovery-area index lines zeroed after verification
+    (STAR): counted NVM writes on the recovery critical path."""
+
+    st_restored_lines: int = 0
+    """Lines reinstated from a shadow table (Anubis ST; Phoenix uses it
+    for tree nodes only)."""
+
+    probed_blocks: int = 0
+    """Counter blocks examined by Osiris-style probing (Phoenix)."""
+
+    probed_stale_lines: int = 0
+    """Probed counter blocks found stale (persisted NVM copy behind the
+    probed value) — kept separate from ST-recovered ``stale_lines`` so
+    the two recovery mechanisms are not conflated."""
+
     @property
     def recovery_time_s(self) -> float:
         return self.recovery_time_ns / 1e9

@@ -75,10 +75,12 @@ class PhoenixScheme(AnubisScheme):
 
         restored = dict(node_report.restored)
         probe_failures = 0
+        probed_stale = 0
+        probed_blocks = geometry.level_counts[0]
         stats = nvm.stats
         with stats.span("recovery.phoenix.probe",
-                        blocks=geometry.level_counts[0]) as probe_span:
-            for index in range(geometry.level_counts[0]):
+                        blocks=probed_blocks) as probe_span:
+            for index in range(probed_blocks):
                 block_id = (0, index)
                 line = geometry.meta_index(block_id)
                 stale, _touched = nvm.read_meta(line)
@@ -86,7 +88,11 @@ class PhoenixScheme(AnubisScheme):
                     machine, block_id, stale
                 )
                 probe_failures += failures
-                if counters == stale.counters and line not in restored:
+                if counters != stale.counters:
+                    # the probed counters moved past the persisted copy:
+                    # this block really was stale at the crash
+                    probed_stale += 1
+                elif line not in restored:
                     continue  # nothing moved since the last persist
                 restored[line] = counters
                 stats.event("recover_line", meta_index=line, level=0)
@@ -98,14 +104,20 @@ class PhoenixScheme(AnubisScheme):
                 nvm.write_meta(line, image)
             if probe_span is not None:
                 probe_span.attrs["failures"] = probe_failures
+                probe_span.attrs["stale"] = probed_stale
 
         reads = (nvm.total_reads() - reads_before) + \
             node_report.nvm_reads
         writes = (nvm.total_writes() - writes_before) + \
             node_report.nvm_writes
+        # stale_lines is the count of lines that actually went stale
+        # (ST-shadowed tree nodes + probed-stale counter blocks) — NOT
+        # len(restored), which also counts fresh blocks rewritten only
+        # because their ST twin was reinstated. The old conflation made
+        # Phoenix's reported stale set track restored-line volume.
         return RecoveryReport(
             scheme=self.name,
-            stale_lines=len(restored),
+            stale_lines=node_report.stale_lines + probed_stale,
             restored_lines=len(restored),
             nvm_reads=reads,
             nvm_writes=writes,
@@ -115,6 +127,9 @@ class PhoenixScheme(AnubisScheme):
                 * machine.config.recovery_line_access_ns
             ),
             restored=restored,
+            st_restored_lines=node_report.restored_lines,
+            probed_blocks=probed_blocks,
+            probed_stale_lines=probed_stale,
         )
 
     def _probe_block(self, machine, block_id: NodeId,

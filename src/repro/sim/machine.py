@@ -247,6 +247,18 @@ class Machine:
     # ==================================================================
     # results
     # ==================================================================
+    def _adr_hit_ratio(self) -> float:
+        """Traffic-free fraction of bitmap-line accesses (Table II).
+
+        Cold misses (first touches, no recovery-area copy to read) cost
+        no NVM traffic, so only real ``adr.misses`` count against the
+        ratio.
+        """
+        accesses = self.stats.get("adr.accesses")
+        if accesses == 0:
+            return 0.0
+        return (accesses - self.stats.get("adr.misses")) / accesses
+
     def result(self, workload: str = "",
                recovery: Optional[RecoveryReport] = None) -> RunResult:
         energy = energy_from_stats(
@@ -277,7 +289,7 @@ class Machine:
                 if self._dirty_fraction_at_crash is not None
                 else self.controller.dirty_fraction()
             ),
-            adr_hit_ratio=self.stats.ratio("adr.hits", "adr.accesses"),
+            adr_hit_ratio=self._adr_hit_ratio(),
             recovery=recovery,
             extras=extras,
         )

@@ -33,6 +33,13 @@ from repro.config import (
 )
 from repro.util.bitfield import check_width, pack_fields, unpack_fields
 
+# image validation runs on every NVM line read/write; compare against
+# precomputed limits and fall back to check_width only to raise its
+# descriptive error
+_COUNTER_LIMIT = 1 << COUNTER_BITS
+_MAC_LIMIT = 1 << MAC_BITS
+_LSB_LIMIT = 1 << LSB_BITS
+
 
 def pack_mac_field(mac: int, lsbs: int) -> int:
     """Combine a 54-bit MAC and 10-bit LSBs into the 64-bit MAC field."""
@@ -46,7 +53,7 @@ def unpack_mac_field(field: int) -> Tuple[int, int]:
     return mac, lsbs
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeImage:
     """Immutable 64-byte image of a metadata node as stored in NVM."""
 
@@ -55,19 +62,27 @@ class NodeImage:
     lsbs: int
 
     def __post_init__(self) -> None:
-        if len(self.counters) != TREE_ARITY:
+        counters = self.counters
+        if len(counters) != TREE_ARITY:
             raise ValueError(
                 "a node holds exactly %d counters" % TREE_ARITY
             )
-        for counter in self.counters:
-            check_width(counter, COUNTER_BITS, "counter")
-        check_width(self.mac, MAC_BITS, "mac")
-        check_width(self.lsbs, LSB_BITS, "lsbs")
+        for counter in counters:
+            if not 0 <= counter < _COUNTER_LIMIT:
+                check_width(counter, COUNTER_BITS, "counter")
+        if not 0 <= self.mac < _MAC_LIMIT:
+            check_width(self.mac, MAC_BITS, "mac")
+        if not 0 <= self.lsbs < _LSB_LIMIT:
+            check_width(self.lsbs, LSB_BITS, "lsbs")
 
     @classmethod
     def zero(cls) -> "NodeImage":
-        """The image of an untouched (freshly shredded) node."""
-        return cls(counters=(0,) * TREE_ARITY, mac=0, lsbs=0)
+        """The image of an untouched (freshly shredded) node.
+
+        Always the same immutable instance: untouched-line reads mint
+        one of these per miss, and the zero image has no per-call state.
+        """
+        return _ZERO_NODE
 
     @property
     def mac_field(self) -> int:
@@ -77,7 +92,10 @@ class NodeImage:
         return NodeImage(self.counters, self.mac, lsbs)
 
 
-@dataclass(frozen=True)
+_ZERO_NODE = NodeImage(counters=(0,) * TREE_ARITY, mac=0, lsbs=0)
+
+
+@dataclass(frozen=True, slots=True)
 class DataLineImage:
     """Immutable image of a user-data line: ciphertext + MAC side-band."""
 
@@ -86,8 +104,10 @@ class DataLineImage:
     lsbs: int
 
     def __post_init__(self) -> None:
-        check_width(self.mac, MAC_BITS, "mac")
-        check_width(self.lsbs, LSB_BITS, "lsbs")
+        if not 0 <= self.mac < _MAC_LIMIT:
+            check_width(self.mac, MAC_BITS, "mac")
+        if not 0 <= self.lsbs < _LSB_LIMIT:
+            check_width(self.lsbs, LSB_BITS, "lsbs")
 
     @property
     def mac_field(self) -> int:

@@ -29,10 +29,27 @@ _LSB_MASK = mask(LSB_BITS)
 
 
 class SITAuthenticator:
-    """Mints and verifies SIT node and user-data MACs under one key."""
+    """Mints and verifies SIT node and user-data MACs under one key.
+
+    MAC computations dominate the simulator's per-access cost (every
+    persist mints one, every fetch and every recovery probe verifies
+    one), and the same (inputs -> MAC) pairs recur constantly: a verify
+    right after a mint, Osiris probes re-deriving candidate MACs, reads
+    of lines whose image has not changed. Since ``mac54`` is a pure
+    function of its inputs under a fixed key, both MAC kinds memoize in
+    bounded per-instance caches (cleared wholesale when full, so the
+    worst case stays O(1) memory without LRU bookkeeping on the hot
+    path).
+    """
+
+    _CACHE_LIMIT = 1 << 16
+
+    __slots__ = ("_key", "_node_mac_cache", "_data_mac_cache")
 
     def __init__(self, key: bytes) -> None:
         self._key = key
+        self._node_mac_cache: dict = {}
+        self._data_mac_cache: dict = {}
 
     # ------------------------------------------------------------------
     # metadata nodes (counter blocks and SIT nodes share one structure)
@@ -41,10 +58,17 @@ class SITAuthenticator:
                  parent_counter: int, lsbs: int) -> int:
         """MAC = H(address, own counters, parent counter, stored LSBs)."""
         level, index = node
-        return mac54(
-            self._key, "sit-node", level, index,
-            *counters, parent_counter, lsbs,
-        )
+        cache_key = (level, index, tuple(counters), parent_counter, lsbs)
+        cache = self._node_mac_cache
+        mac = cache.get(cache_key)
+        if mac is None:
+            if len(cache) >= self._CACHE_LIMIT:
+                cache.clear()
+            mac = cache[cache_key] = mac54(
+                self._key, "sit-node", level, index,
+                *counters, parent_counter, lsbs,
+            )
+        return mac
 
     def make_node_image(self, node: NodeId, counters: Sequence[int],
                         parent_counter: int) -> NodeImage:
@@ -71,9 +95,16 @@ class SITAuthenticator:
     def data_mac(self, address: int, ciphertext: bytes,
                  counter: int, lsbs: int) -> int:
         """MAC = H(content, address, encryption counter, stored LSBs)."""
-        return mac54(
-            self._key, "sit-data", address, ciphertext, counter, lsbs,
-        )
+        cache_key = (address, ciphertext, counter, lsbs)
+        cache = self._data_mac_cache
+        mac = cache.get(cache_key)
+        if mac is None:
+            if len(cache) >= self._CACHE_LIMIT:
+                cache.clear()
+            mac = cache[cache_key] = mac54(
+                self._key, "sit-data", address, ciphertext, counter, lsbs,
+            )
+        return mac
 
     def make_data_image(self, address: int, ciphertext: bytes,
                         counter: int) -> DataLineImage:

@@ -76,7 +76,16 @@ def test_bit(word: int, bit: int) -> bool:
 
 
 def iter_set_bits(word: int) -> Iterator[int]:
-    """Yield the indices of set bits in ``word``, ascending."""
+    """Yield the indices of set bits in ``word``, ascending.
+
+    Negative words are rejected: two's-complement sign extension means
+    a negative integer has infinitely many set bits, and the pre-guard
+    implementation looped forever (``-1 >> 1 == -1``).
+    """
+    if word < 0:
+        raise ValueError(
+            "iter_set_bits requires a non-negative word, got %d" % word
+        )
     bit = 0
     while word:
         if word & 1:
@@ -86,8 +95,17 @@ def iter_set_bits(word: int) -> Iterator[int]:
 
 
 def popcount(word: int) -> int:
-    """Number of set bits in ``word``."""
-    return bin(word).count("1")
+    """Number of set bits in ``word`` (non-negative only).
+
+    Negative inputs are rejected rather than miscounted: the previous
+    ``bin(word).count("1")`` counted the magnitude's bits, silently
+    wrong for two's-complement semantics.
+    """
+    if word < 0:
+        raise ValueError(
+            "popcount requires a non-negative word, got %d" % word
+        )
+    return word.bit_count()
 
 
 def bytes_to_int(data: bytes) -> int:

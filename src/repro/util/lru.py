@@ -22,6 +22,8 @@ class LRUCache(Generic[K, V]):
     the bitmap-line manager uses to spill a line to the recovery area.
     """
 
+    __slots__ = ("capacity", "_entries")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1, got %d" % capacity)

@@ -26,6 +26,25 @@ from typing import Dict, Iterator, Tuple
 from repro.obs.metrics import Counter, MetricRegistry
 
 
+class _NullSpan:
+    """A reusable no-op context manager for disabled span tracing.
+
+    Yields ``None`` like a disabled :meth:`SpanTracer.span`, but without
+    paying for a generator-based context manager per call.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class Stats:
     """A flat namespace of counters over the machine's telemetry hub."""
 
@@ -34,6 +53,18 @@ class Stats:
         if registry is None:
             registry = MetricRegistry(enabled=enabled)
         self.registry = registry
+        # registry.reset() clears this dict in place, so the binding
+        # survives resets
+        self._counters = registry._counters
+        if not registry.enabled:
+            # true zero-cost disabled path: overhead-sensitive sweeps
+            # (telemetry=False) pay one attribute load + no-op call per
+            # telemetry touchpoint instead of enabled checks and
+            # instrument lookups (counters still count — see add())
+            self.observe = self._observe_noop
+            self.gauge_set = self._observe_noop
+            self.event = self._event_noop
+            self.span = self._span_noop
 
     # ------------------------------------------------------------------
     # the seed counter API (unchanged semantics)
@@ -41,7 +72,7 @@ class Stats:
     def add(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount``."""
         # inlined registry.counter(): add() fires on every NVM access
-        counters = self.registry._counters
+        counters = self._counters
         counter = counters.get(name)
         if counter is None:
             counter = counters[name] = Counter(name)
@@ -49,7 +80,7 @@ class Stats:
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never incremented)."""
-        counter = self.registry._counters.get(name)
+        counter = self._counters.get(name)
         return 0 if counter is None else counter.value
 
     def __getitem__(self, name: str) -> int:
@@ -60,7 +91,7 @@ class Stats:
 
     def __len__(self) -> int:
         """Number of distinct counters."""
-        return len(self.registry._counters)
+        return len(self._counters)
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of all counters."""
@@ -122,3 +153,13 @@ class Stats:
     def span(self, name: str, **attrs):
         """Open a timed span (context manager; spans nest)."""
         return self.registry.tracer.span(name, **attrs)
+
+    # bound in place of the methods above when the registry is disabled
+    def _observe_noop(self, name: str, value: float = 0.0) -> None:
+        pass
+
+    def _event_noop(self, kind: str, **fields) -> None:
+        pass
+
+    def _span_noop(self, name: str, **attrs) -> "_NullSpan":
+        return _NULL_SPAN

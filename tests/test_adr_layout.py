@@ -15,6 +15,30 @@ class TestAdrRegion:
         assert nvm.stats["nvm.ra_reads"] == 1
         assert nvm.stats["adr.misses"] == 1
 
+    def test_cold_miss_costs_no_nvm_traffic(self):
+        """First touch of a never-spilled line: the recovery area holds
+        no copy, so no RA read is issued and the line materializes as
+        zero (the Table II accounting fix)."""
+        nvm = NVM()
+        adr = AdrRegion(2, nvm)
+        assert adr.load((1, 0)) == 0
+        assert nvm.stats["nvm.ra_reads"] == 0
+        assert nvm.stats["adr.misses"] == 0
+        assert nvm.stats["adr.cold_misses"] == 1
+        assert nvm.stats["adr.accesses"] == 1
+
+    def test_spilled_line_reload_is_a_real_miss(self):
+        """Once a line has been spilled, reloading it reads the RA."""
+        nvm = NVM()
+        adr = AdrRegion(1, nvm)
+        adr.load((1, 0))
+        adr.store((1, 0), 5)
+        adr.load((1, 1))          # spills (1, 0)
+        assert nvm.stats["adr.spills"] == 1
+        assert adr.load((1, 0)) == 5
+        assert nvm.stats["adr.misses"] == 1
+        assert nvm.stats["nvm.ra_reads"] == 1
+
     def test_load_hit_costs_nothing(self):
         nvm = NVM()
         adr = AdrRegion(2, nvm)
@@ -55,12 +79,17 @@ class TestAdrRegion:
         assert nvm.peek_ra((1, 0)) == 9
         assert nvm.stats["nvm.ra_writes"] == writes  # battery, not traffic
 
-    def test_hit_ratio(self):
+    def test_hit_ratio_counts_traffic_free_accesses(self):
+        """hit_ratio = accesses that issued no RA read, over accesses.
+        A cold miss is traffic-free; a post-spill reload is not."""
         nvm = NVM()
+        nvm.flush_ra((1, 0), 3)   # a spilled copy exists: real miss
         adr = AdrRegion(2, nvm)
-        adr.load((1, 0))
-        adr.load((1, 0))
-        assert adr.hit_ratio() == 0.5
+        adr.load((1, 0))          # miss (RA read)
+        adr.load((1, 0))          # hit
+        adr.load((1, 1))          # cold miss (free)
+        adr.load((1, 1))          # hit
+        assert adr.hit_ratio() == 0.75
 
 
 class TestIndexLayerCounts:

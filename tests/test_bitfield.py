@@ -97,11 +97,34 @@ class TestBitOps:
         assert bitfield.popcount(0) == 0
         assert bitfield.popcount(0b1011) == 3
 
+    def test_popcount_rejects_negative(self):
+        """bin(-5).count("1") == 2 was silently wrong; now it raises."""
+        with pytest.raises(ValueError):
+            bitfield.popcount(-5)
+
+    def test_iter_set_bits_rejects_negative(self):
+        """-1 >> 1 == -1: the unguarded loop never terminated."""
+        with pytest.raises(ValueError):
+            list(bitfield.iter_set_bits(-1))
+
     @given(st.integers(min_value=0, max_value=2 ** 128 - 1))
     def test_popcount_matches_iter(self, word):
         assert bitfield.popcount(word) == len(
             list(bitfield.iter_set_bits(word))
         )
+
+    @given(st.integers(min_value=0, max_value=2 ** 600 - 1))
+    def test_popcount_matches_naive_reference(self, word):
+        """The naive per-bit count is the semantic spec for popcount."""
+        naive = sum(1 for bit in range(word.bit_length())
+                    if (word >> bit) & 1)
+        assert bitfield.popcount(word) == naive
+
+    @given(st.integers(min_value=0, max_value=2 ** 600 - 1))
+    def test_iter_set_bits_matches_naive_reference(self, word):
+        naive = [bit for bit in range(word.bit_length())
+                 if (word >> bit) & 1]
+        assert list(bitfield.iter_set_bits(word)) == naive
 
     @given(st.integers(min_value=0, max_value=2 ** 64 - 1),
            st.integers(min_value=0, max_value=63))

@@ -137,8 +137,12 @@ class TestMachineLifecycle:
         assert machine.stats["nvm.meta_writes"] + \
             machine.stats["nvm.data_writes"] + \
             machine.stats["nvm.ra_writes"] == runtime_writes
-        assert machine.recovery_stats["nvm.meta_writes"] == \
-            report.nvm_writes
+        # recovery writes = restored-node write-backs + the counted
+        # zeroing of the non-zero index lines found during locate
+        assert machine.recovery_stats["nvm.meta_writes"] + \
+            machine.recovery_stats["nvm.ra_writes"] == report.nvm_writes
+        assert machine.recovery_stats["nvm.ra_writes"] == \
+            report.ra_lines_cleared
 
 
 class TestMachineResult:

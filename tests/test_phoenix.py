@@ -76,6 +76,35 @@ class TestRecovery:
         # at least one NVM metadata read per counter block
         assert report.nvm_reads >= num_blocks
 
+    def test_report_separates_probing_from_shadow_table(self):
+        """Regression: stale_lines used to be len(restored), conflating
+        'block rewritten because probing found drift' with 'tree node
+        reinstated from the ST'. The split must add up and stale_lines
+        must count only lines that actually went stale."""
+        machine = phoenix_machine(operations=250)
+        machine.crash()
+        report = machine.recover()
+        geometry = machine.controller.geometry
+        assert report.probed_blocks == geometry.level_counts[0]
+        assert 0 < report.probed_stale_lines <= report.probed_blocks
+        assert report.st_restored_lines > 0
+        assert report.stale_lines == (
+            report.st_restored_lines + report.probed_stale_lines
+        )
+        # restored_lines covers both mechanisms, never less than stale
+        assert report.restored_lines >= report.stale_lines
+
+    def test_stale_count_tracks_drift_not_restores(self):
+        """A single hammered block: exactly one probed-stale line even
+        though every counter block is probed."""
+        machine = Machine(small_config(), scheme="phoenix")
+        for _ in range(3):  # below the stride: never persisted
+            machine.controller.write_data(8)
+        machine.crash()
+        report = machine.recover()
+        assert report.probed_stale_lines == 1
+        assert report.stale_lines == 1 + report.st_restored_lines
+
     def test_recovery_slower_than_star(self):
         config = small_config()
         times = {}

@@ -79,13 +79,33 @@ class TestRoundTrip:
         assert report.stale_lines == 0
 
     def test_recovery_reads_about_ten_lines_per_stale_node(self):
-        """The Fig. 14(b) cost model: ~10 reads + 1 write per node."""
+        """The Fig. 14(b) cost model: ~10 reads + 1 write per node,
+        plus one counted write per non-zero index line zeroed."""
         machine = crashed_star_machine(operations=300)
         report = machine.recover(raise_on_failure=True)
         assert report.stale_lines > 10
         per_node = report.nvm_reads / report.stale_lines
         assert 8.0 <= per_node <= 12.0
-        assert report.nvm_writes == report.stale_lines
+        assert report.ra_lines_cleared > 0
+        assert report.nvm_writes == (
+            report.stale_lines + report.ra_lines_cleared
+        )
+
+    def test_clearing_writes_only_visited_index_lines(self):
+        """The clearing pass rewrites exactly the non-zero RA lines the
+        locate walk read — never the whole index (Section III-F)."""
+        machine = crashed_star_machine(operations=300)
+        index = machine.scheme.bitmap.index
+        in_nvm_lines = sum(
+            1 for key in index.all_lines()
+            if not index.is_on_chip(key[0])
+        )
+        report = machine.recover(raise_on_failure=True)
+        assert 0 < report.ra_lines_cleared < in_nvm_lines
+        # every cleared line really is zero afterwards
+        for key in index.all_lines():
+            if not index.is_on_chip(key[0]):
+                assert machine.nvm.peek_ra(key) == 0
 
     def test_recovery_time_uses_100ns_per_line(self):
         machine = crashed_star_machine()
