@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.bench.tables import Cell, ExperimentTable, _format_cell
+from repro.bench.tables import ExperimentTable, _format_cell
 
 BAR_WIDTH = 40
 

@@ -14,7 +14,7 @@ design parameters DESIGN.md calls out:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.bench.runner import SCALES, config_for_scale, run_one
 from repro.bench.tables import ExperimentTable

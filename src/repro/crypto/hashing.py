@@ -15,7 +15,7 @@ length-prefixed).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Union
+from typing import Iterable, List, Tuple, Union
 
 from repro.config import MAC_BITS
 from repro.util.bitfield import mask
@@ -31,7 +31,7 @@ def _serialize(parts: Iterable[HashPart]) -> bytes:
     # exact-type dispatch on the hot path (every MAC computation runs
     # through here); subclasses and rejects take the isinstance slow
     # path in _serialize_other
-    chunks = []
+    chunks: List[bytes] = []
     append = chunks.append
     for part in parts:
         kind = type(part)
@@ -54,7 +54,7 @@ def _serialize(parts: Iterable[HashPart]) -> bytes:
     return b"".join(chunks)
 
 
-def _serialize_other(part: HashPart) -> tuple:
+def _serialize_other(part: HashPart) -> Tuple[bytes, bytes]:
     """Subclass / error handling for :func:`_serialize`."""
     if isinstance(part, bool):
         raise TypeError("booleans are ambiguous hash inputs")

@@ -13,6 +13,8 @@ evaluation depends on the choice of block cipher.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.config import LINE_SIZE
 from repro.crypto.hashing import hash_bytes
 
@@ -38,7 +40,7 @@ class CounterModeEngine:
             raise ValueError("encryption key must be non-empty")
         self._key = key
         self._line_size = line_size
-        self._pad_cache: dict = {}
+        self._pad_cache: Dict[Tuple[int, int], bytes] = {}
 
     @property
     def line_size(self) -> int:

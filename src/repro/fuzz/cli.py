@@ -81,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--inject-defect", choices=sorted(DEFECTS),
                      default=None,
                      help="test-only fault injection (oracle self-test)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="run every case on Machine(sanitize=True): "
+                          "runtime write sanitizers on top of the "
+                          "oracle stack (repro.sim.sanitize)")
     run.add_argument("--quiet", action="store_true")
 
     replay = commands.add_parser(
@@ -157,7 +161,8 @@ def _cmd_run(args) -> int:
 
     with corpus_io.CorpusWriter(corpus_path) as writer:
         writer.write_header(spec.to_dict())
-        campaign = run_campaign(spec, jobs=args.jobs, progress=progress)
+        campaign = run_campaign(spec, jobs=args.jobs, progress=progress,
+                                sanitize=args.sanitize)
         for failure in campaign.failures:
             writer.write_failure(failure)
         writer.write_summary(campaign.summary())

@@ -122,12 +122,15 @@ class CaseResult:
 
 
 def run_case(case: FuzzCase, ops: Optional[Sequence[Op]] = None,
-             defect: Optional[str] = None) -> CaseResult:
+             defect: Optional[str] = None,
+             sanitize: bool = False) -> CaseResult:
     """Execute one case single-process and judge it.
 
     ``ops`` overrides the workload-derived trace (the minimizer's
     entry point); the crash then happens after the last op. ``defect``
-    names a :data:`DEFECTS` fault injection.
+    names a :data:`DEFECTS` fault injection. ``sanitize`` runs the case
+    on a ``Machine(sanitize=True)``; a sanitizer trip surfaces as an
+    ``exception`` violation like any other simulator failure.
     """
     config = campaign_config()
     if ops is None:
@@ -139,7 +142,7 @@ def run_case(case: FuzzCase, ops: Optional[Sequence[Op]] = None,
         crash_at = len(ops)
     result = CaseResult(case=case, ops_total=len(ops), crash_at=crash_at)
     try:
-        _execute(case, ops, defect, config, result)
+        _execute(case, ops, defect, config, result, sanitize)
     except Exception:
         summary = traceback.format_exc(limit=4).strip().splitlines()
         result.violations.append({
@@ -150,8 +153,10 @@ def run_case(case: FuzzCase, ops: Optional[Sequence[Op]] = None,
 
 
 def _execute(case: FuzzCase, ops: Sequence[Op], defect: Optional[str],
-             config: SystemConfig, result: CaseResult) -> None:
-    machine = Machine(config, scheme=case.scheme, telemetry=False)
+             config: SystemConfig, result: CaseResult,
+             sanitize: bool = False) -> None:
+    machine = Machine(config, scheme=case.scheme, telemetry=False,
+                      sanitize=sanitize)
     attacker = Attacker(machine.nvm)
     attack = make_attack(case.attack) if case.attack else None
 
@@ -217,9 +222,9 @@ def _execute(case: FuzzCase, ops: Sequence[Op], defect: Optional[str],
 # ----------------------------------------------------------------------
 def _campaign_worker(payload) -> Dict:
     """Top-level (picklable) pool entry point."""
-    case_dict, defect = payload
+    case_dict, defect, sanitize = payload
     case = FuzzCase.from_dict(case_dict)
-    return run_case(case, defect=defect).to_dict()
+    return run_case(case, defect=defect, sanitize=sanitize).to_dict()
 
 
 @dataclass
@@ -252,11 +257,13 @@ class CampaignResult:
 
 
 def run_campaign(spec: CampaignSpec, jobs: int = 1,
-                 progress: Optional[Callable[[CaseResult], None]] = None
-                 ) -> CampaignResult:
+                 progress: Optional[Callable[[CaseResult], None]] = None,
+                 sanitize: bool = False) -> CampaignResult:
     """Run every sampled case, serially or across a process pool."""
     cases = sample_cases(spec)
-    payloads = [(case.to_dict(), spec.defect) for case in cases]
+    payloads = [
+        (case.to_dict(), spec.defect, sanitize) for case in cases
+    ]
     stats = Stats()
     results: List[CaseResult] = []
 

@@ -1,0 +1,20 @@
+"""Domain-aware static analysis for the STAR reproduction.
+
+``repro.lint`` walks Python sources with :mod:`ast` and applies the
+STAR00x rules (:mod:`repro.lint.rules`): conventions the simulator's
+correctness rests on but no general-purpose linter can know about —
+counted NVM traffic, paper-mandated bit widths, determinism of sim
+paths, metric-catalogue hygiene and the hot-path ``__slots__`` roster.
+
+Run it as ``star-lint src/`` (see :mod:`repro.lint.cli`); the engine and
+rule API live in :mod:`repro.lint.engine`.
+"""
+
+from repro.lint.engine import (
+    FileContext,
+    Finding,
+    LintEngine,
+    Rule,
+)
+
+__all__ = ["FileContext", "Finding", "LintEngine", "Rule"]

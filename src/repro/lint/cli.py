@@ -1,0 +1,91 @@
+"""``star-lint``: run the STAR00x rules over a source tree.
+
+Usage::
+
+    star-lint src/                 # human report, always exits 0
+    star-lint src/ --check         # exit 1 when there are findings (CI)
+    star-lint src/ --json out.json # machine-readable report
+    star-lint src/ --rules STAR001,STAR003
+
+The default invocation is report-only so the tool can be run while
+cleaning a tree; CI enforces with ``--check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import (
+    LintEngine,
+    findings_to_json,
+    render_text,
+)
+from repro.lint.rules import default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="star-lint",
+        description="Domain-aware static analysis for the STAR "
+                    "reproduction (rules STAR001..STAR005).",
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="files or directories to lint (directories recurse *.py)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit with status 1 when there are findings (CI mode)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write a JSON report ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--rules", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    rules = default_rules()
+    if args.rules is not None:
+        wanted = {code.strip() for code in args.rules.split(",")}
+        known = {rule.code for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print("unknown rule code(s): %s" % ", ".join(sorted(unknown)),
+                  file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    engine = LintEngine(rules)
+    findings = engine.run(args.paths)
+
+    if args.json is not None:
+        payload = findings_to_json(findings)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    if args.json != "-":
+        print(render_text(findings))
+    for error in engine.errors:
+        print("error: %s" % error, file=sys.stderr)
+
+    failures: List[str] = engine.errors
+    if failures:
+        return 2
+    if args.check and findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

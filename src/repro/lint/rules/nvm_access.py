@@ -1,0 +1,62 @@
+"""STAR001: every NVM touch must be counted.
+
+All write-traffic and recovery-cost figures are computed from the NVM's
+per-region stat counters (``repro.mem.nvm``), so reaching around the
+counted ``read_*``/``write_*`` API — e.g. iterating ``nvm._meta``
+directly — silently removes traffic from the results. That is exactly
+the bug class PR 3 fixed by hand; this rule machine-detects it.
+
+Heuristic: an attribute access ``<recv>._data/_meta/_ra/_st`` is flagged
+when the receiver is NVM-shaped — a name or attribute called ``nvm`` (or
+ending in ``nvm``). The NVM class itself (``repro/mem/nvm.py``) is the
+counted API and is exempt; the sanctioned uncounted accessors it exports
+(``peek_*``, ``flush_*``, ``tamper_*``, ``data_lines``, ``meta_lines``,
+``st_slots``, ``*_is_touched``) are the escape hatch for oracles,
+battery flushes and attackers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.engine import FileContext, Finding, Rule
+
+_REGIONS = frozenset({"_data", "_meta", "_ra", "_st"})
+
+
+def _is_nvm_receiver(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "nvm" or node.id.endswith("nvm")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "nvm" or node.attr.endswith("nvm")
+    return False
+
+
+class UncountedNvmAccessRule(Rule):
+    code = "STAR001"
+    name = "uncounted-nvm-access"
+    description = (
+        "direct access to NVM region internals bypasses the counted "
+        "traffic API"
+    )
+
+    def __init__(self, exempt_modules: Iterable[str] = ("repro/mem/nvm.py",)
+                 ) -> None:
+        self.exempt_modules = frozenset(exempt_modules)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module_path in self.exempt_modules:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in _REGIONS and _is_nvm_receiver(node.value):
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    "uncounted access to NVM internals (%r); use the "
+                    "counted read_*/write_* API or a sanctioned "
+                    "accessor (peek_*, data_lines(), meta_lines(), ...)"
+                    % node.attr,
+                )

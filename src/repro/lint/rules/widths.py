@@ -1,0 +1,118 @@
+"""STAR002: constants assigned into width-budgeted fields must fit.
+
+The paper fixes field widths in hardware (PAPER.md / Section III-B):
+54-bit MACs, 10-bit counter LSBs riding in the MAC field's spare bits,
+56-bit counters. The budgets live in ``repro.core.widths.FIELD_WIDTHS``;
+this rule const-folds integer expressions that flow into fields of those
+names — plain assignments, attribute assignments, annotated assignments
+and keyword arguments — and flags values that overflow the budget.
+
+Only statically foldable expressions are judged (literals combined with
+``+ - * << ** | & ^``); runtime values are the sanitizer's job
+(``repro.sim.sanitize``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.core.widths import FIELD_WIDTHS
+from repro.lint.engine import FileContext, Finding, Rule
+
+
+def _fold(node: ast.expr) -> Optional[int]:
+    """Best-effort constant folding of an int-valued expression."""
+    if isinstance(node, ast.Constant):
+        return node.value if type(node.value) is int else None
+    if isinstance(node, ast.UnaryOp):
+        operand = _fold(node.operand)
+        if operand is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return -operand
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Invert):
+            return ~operand
+        return None
+    if isinstance(node, ast.BinOp):
+        left, right = _fold(node.left), _fold(node.right)
+        if left is None or right is None:
+            return None
+        op = node.op
+        if isinstance(op, ast.Add):
+            return left + right
+        if isinstance(op, ast.Sub):
+            return left - right
+        if isinstance(op, ast.Mult):
+            return left * right
+        if isinstance(op, ast.LShift):
+            return left << right if 0 <= right < 1024 else None
+        if isinstance(op, ast.RShift):
+            return left >> right if 0 <= right < 1024 else None
+        if isinstance(op, ast.Pow):
+            return left ** right if 0 <= right < 1024 else None
+        if isinstance(op, ast.BitOr):
+            return left | right
+        if isinstance(op, ast.BitAnd):
+            return left & right
+        if isinstance(op, ast.BitXor):
+            return left ^ right
+        return None
+    return None
+
+
+class BitWidthOverflowRule(Rule):
+    code = "STAR002"
+    name = "bit-width-overflow"
+    description = (
+        "a constant assigned into a width-budgeted field exceeds the "
+        "paper's bit budget"
+    )
+
+    def __init__(self, widths: Optional[Dict[str, int]] = None) -> None:
+        self.widths = dict(FIELD_WIDTHS if widths is None else widths)
+
+    # ------------------------------------------------------------------
+    def _judge(self, ctx: FileContext, field: str, value_node: ast.expr
+               ) -> Iterator[Finding]:
+        bits = self.widths.get(field)
+        if bits is None:
+            return
+        value = _fold(value_node)
+        if value is None:
+            return
+        if not 0 <= value < (1 << bits):
+            yield ctx.finding(
+                self.code,
+                value_node,
+                "%s=%d overflows the %d-bit budget of %r"
+                % (field, value, bits, field),
+            )
+
+    @staticmethod
+    def _target_field(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    field = self._target_field(target)
+                    if field is not None:
+                        yield from self._judge(ctx, field, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                field = self._target_field(node.target)
+                if field is not None:
+                    yield from self._judge(ctx, field, node.value)
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        yield from self._judge(
+                            ctx, keyword.arg, keyword.value
+                        )

@@ -142,6 +142,10 @@ class NVM:
     def peek_meta(self, meta_index: int) -> Optional[NodeImage]:
         return self._meta.get(meta_index)
 
+    def meta_lines(self):
+        """All touched metadata line numbers, ascending (oracle scans)."""
+        return sorted(self._meta)
+
     def meta_is_touched(self, meta_index: int) -> bool:
         return meta_index in self._meta
 

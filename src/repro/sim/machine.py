@@ -39,11 +39,14 @@ class Machine:
                  scheme: Union[str, PersistenceScheme] = "star",
                  registers: Optional[OnChipRegisters] = None,
                  nvm: Optional[NVM] = None,
-                 telemetry: bool = True) -> None:
+                 telemetry: bool = True,
+                 sanitize: bool = False) -> None:
         """``registers`` and ``nvm`` allow booting a machine on state
         that survived a crash (the reboot-after-recovery scenario).
         ``telemetry=False`` turns off histograms/spans/events (counters
-        always count) for overhead-sensitive sweeps."""
+        always count) for overhead-sensitive sweeps. ``sanitize=True``
+        installs the runtime write sanitizers (``repro.sim.sanitize``);
+        off by default, so hot paths stay unwrapped."""
         self.config = config
         self.stats = Stats(enabled=telemetry)
         self.recovery_stats: Optional[Stats] = None
@@ -81,6 +84,12 @@ class Machine:
         self.crashed = False
         self.pre_crash_dirty: Dict[int, Tuple[int, ...]] = {}
         self._dirty_fraction_at_crash: Optional[float] = None
+        self.sanitizer = None
+        if sanitize:
+            # imported lazily: the sanitizer is diagnostics, not hot path
+            from repro.sim.sanitize import install_sanitizers
+
+            self.sanitizer = install_sanitizers(self)
 
     # ==================================================================
     # running traces
@@ -231,6 +240,15 @@ class Machine:
             self.nvm.stats = saved
         self.recovery_stats = recovery_stats
         self.crashed = False
+        # Re-attach the scheme so its volatile state (Anubis/Phoenix ST
+        # slot mirrors, STAR's bitmap manager + ADR residency) restarts
+        # from the recovered NVM, exactly as a reboot would rebuild it.
+        # Without this, continuing to run on the same Machine leaked
+        # shadow-table ways (IndexError after a few crash cycles) and
+        # replayed stale ADR bits into the next recovery.
+        self.scheme.attach(self.controller)
+        if self.sanitizer is not None:
+            self.sanitizer.rewire_scheme()
         if raise_on_failure and not report.verified:
             raise VerificationError(
                 "recovery verification failed: attack detected"

@@ -80,7 +80,7 @@ def _check_nvm_images(machine) -> List[str]:
     violations: List[str] = []
     controller = machine.controller
     geometry = controller.geometry
-    for line in sorted(machine.nvm._meta):
+    for line in machine.nvm.meta_lines():
         image = machine.nvm.peek_meta(line)
         node_id = geometry.node_at(line)
         # a parent counter moves only when *this* node persists, and

@@ -8,7 +8,7 @@ test.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Tuple
 
 
 def mask(nbits: int) -> int:
@@ -34,7 +34,7 @@ def check_width(value: int, nbits: int, name: str = "value") -> int:
     return value
 
 
-def pack_fields(fields: Iterable[tuple]) -> int:
+def pack_fields(fields: Iterable[Tuple[int, int]]) -> int:
     """Pack ``(value, width)`` pairs into one integer, first pair highest.
 
     >>> hex(pack_fields([(0xA, 4), (0xB, 4)]))

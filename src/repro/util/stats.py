@@ -21,7 +21,7 @@ counters always count, because the figure reproductions read them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.obs.metrics import Counter, MetricRegistry
 
@@ -35,10 +35,10 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -48,7 +48,7 @@ _NULL_SPAN = _NullSpan()
 class Stats:
     """A flat namespace of counters over the machine's telemetry hub."""
 
-    def __init__(self, registry: "MetricRegistry" = None,
+    def __init__(self, registry: Optional[MetricRegistry] = None,
                  enabled: bool = True) -> None:
         if registry is None:
             registry = MetricRegistry(enabled=enabled)
@@ -61,10 +61,10 @@ class Stats:
             # (telemetry=False) pay one attribute load + no-op call per
             # telemetry touchpoint instead of enabled checks and
             # instrument lookups (counters still count — see add())
-            self.observe = self._observe_noop
-            self.gauge_set = self._observe_noop
-            self.event = self._event_noop
-            self.span = self._span_noop
+            self.observe = self._observe_noop  # type: ignore[method-assign]
+            self.gauge_set = self._observe_noop  # type: ignore[method-assign]
+            self.event = self._event_noop  # type: ignore[method-assign]
+            self.span = self._span_noop  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # the seed counter API (unchanged semantics)
@@ -146,11 +146,11 @@ class Stats:
         if self.registry.enabled:
             self.registry.gauge(name).set(value)
 
-    def event(self, kind: str, **fields) -> None:
+    def event(self, kind: str, **fields: object) -> None:
         """Append one structured event to the machine's event log."""
         self.registry.events.emit(kind, **fields)
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object):
         """Open a timed span (context manager; spans nest)."""
         return self.registry.tracer.span(name, **attrs)
 
@@ -158,8 +158,8 @@ class Stats:
     def _observe_noop(self, name: str, value: float = 0.0) -> None:
         pass
 
-    def _event_noop(self, kind: str, **fields) -> None:
+    def _event_noop(self, kind: str, **fields: object) -> None:
         pass
 
-    def _span_noop(self, name: str, **attrs) -> "_NullSpan":
+    def _span_noop(self, name: str, **attrs: object) -> "_NullSpan":
         return _NULL_SPAN

@@ -4,7 +4,6 @@ import pytest
 
 from repro.bench.cli import main as cli_main
 from repro.bench.runner import (
-    PAPER_SCHEMES,
     SCALES,
     config_for_scale,
     geometric_mean,

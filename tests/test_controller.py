@@ -4,7 +4,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.config import StarConfig, small_config
+from repro.config import small_config
 from repro.errors import IntegrityError
 from repro.mem.nvm import NVM
 from repro.schemes.writeback import WriteBackScheme

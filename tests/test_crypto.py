@@ -22,7 +22,7 @@ class TestKeyedHash:
         assert keyed_hash(KEY, 1, 2) != keyed_hash(KEY, 2, 1)
 
     def test_structural_separation(self):
-        """Concatenation ambiguity must not collide: ("ab","c") != ("a","bc")."""
+        """Concatenation ambiguity: ("ab","c") must not equal ("a","bc")."""
         assert keyed_hash(KEY, "ab", "c") != keyed_hash(KEY, "a", "bc")
 
     def test_bytes_vs_str_distinct(self):

@@ -1,0 +1,103 @@
+"""Regression tests for the crash/recover lifecycle and NVM accessors.
+
+Two bugs surfaced by this PR's tooling are pinned here:
+
+* **Same-machine continuation after recovery** (found while wiring the
+  sanitizers through repeated crash cycles): ``Machine.recover`` used
+  to leave the scheme's volatile state stale — Anubis/Phoenix leaked
+  shadow-table ways on every cycle until ``IndexError: pop from empty
+  list``, and STAR replayed stale ADR bitmap bits into the next
+  recovery, failing the restore oracle on the second crash. Recovery
+  now re-attaches the scheme (reboot-equivalent volatile state).
+
+* **Uncounted metadata scans** (the STAR001 lint finding):
+  ``sim.validate`` reached into ``nvm._meta`` directly; the public
+  traffic-free ``NVM.meta_lines()`` accessor replaces it, and this test
+  pins that auditing a machine costs zero NVM traffic either way.
+"""
+
+import pytest
+
+from repro.config import small_config
+from repro.sim.machine import Machine
+from repro.sim.validate import audit_machine
+from repro.tree.node import NodeImage
+from repro.mem.nvm import NVM
+from repro.workloads.registry import make_workload
+
+
+def cycle_ops(machine, operations, seed):
+    workload = make_workload(
+        "hash", machine.controller.layout.num_data_lines,
+        operations=operations, seed=seed,
+    )
+    machine.run(list(workload.ops()))
+
+
+class TestContinueAfterRecover:
+    @pytest.mark.parametrize("scheme", ["star", "anubis", "phoenix",
+                                        "strict"])
+    def test_many_crash_cycles_on_one_machine(self, scheme):
+        machine = Machine(small_config(), scheme=scheme, telemetry=False)
+        for cycle in range(5):
+            cycle_ops(machine, operations=250, seed=7 + cycle)
+            machine.crash()
+            report = machine.recover(raise_on_failure=True)
+            assert machine.oracle_check(report), (scheme, cycle)
+            assert audit_machine(machine) == []
+
+    def test_anubis_slot_mirror_rebuilt(self):
+        """The pre-fix failure mode: ST ways leaked every cycle."""
+        machine = Machine(small_config(), scheme="anubis",
+                          telemetry=False)
+        cache = machine.controller.meta_cache
+        total_ways = cache.num_sets * cache.ways
+        for cycle in range(3):
+            cycle_ops(machine, operations=250, seed=3 + cycle)
+            machine.crash()
+            machine.recover(raise_on_failure=True)
+            scheme = machine.scheme
+            # after re-attach the mirror is empty and every way is free
+            assert scheme._slot_of == {}
+            free = sum(len(ways) for ways in scheme._free_ways.values())
+            assert free == total_ways
+
+    def test_continuation_matches_reboot(self):
+        """Continuing the same machine restores the same data a fresh
+        boot on the surviving NVM + registers would read."""
+        config = small_config()
+        continued = Machine(config, scheme="star", telemetry=False)
+        cycle_ops(continued, operations=300, seed=5)
+        continued.crash()
+        continued.recover(raise_on_failure=True)
+        cycle_ops(continued, operations=120, seed=6)
+        continued.crash()
+        continued.recover(raise_on_failure=True)
+
+        rebooted = Machine(config, scheme="star",
+                           registers=continued.registers,
+                           nvm=continued.nvm, telemetry=False)
+        for line in continued.nvm.data_lines():
+            assert rebooted.controller.read_data(line) is not None
+
+
+class TestNvmAccessors:
+    def test_meta_lines_sorted_and_traffic_free(self):
+        nvm = NVM()
+        image = NodeImage(counters=(1,) + (0,) * 7, mac=0, lsbs=0)
+        for index in (9, 2, 5):
+            nvm.write_meta(index, image)
+        reads_before = nvm.total_reads()
+        writes_before = nvm.total_writes()
+        assert nvm.meta_lines() == [2, 5, 9]
+        assert nvm.total_reads() == reads_before
+        assert nvm.total_writes() == writes_before
+
+    def test_audit_machine_costs_no_traffic(self):
+        machine = Machine(small_config(), telemetry=False)
+        cycle_ops(machine, operations=200, seed=13)
+        reads_before = machine.nvm.total_reads()
+        writes_before = machine.nvm.total_writes()
+        assert audit_machine(machine) == []
+        assert machine.nvm.total_reads() == reads_before
+        assert machine.nvm.total_writes() == writes_before
