@@ -109,7 +109,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--perf-note", metavar="TEXT", default="",
         help="annotation stored with the --perf trajectory entry",
     )
+    parser.add_argument(
+        "--lab", metavar="DIR", default=None,
+        help="serve experiment cells from (and commit misses to) the "
+             "lab result store at DIR — see star-lab",
+    )
     args = parser.parse_args(argv)
+
+    lab = None
+    if args.lab:
+        from repro.lab.bridge import LabCache
+
+        lab = LabCache(args.lab)
 
     if args.perf:
         from repro.bench.hotpath import append_trajectory, run_hotpath
@@ -138,9 +149,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     # perf_counter: monotonic, immune to wall-clock adjustments
     started = time.perf_counter()
     if args.experiment == "all":
-        tables = experiments.run_all(scale=args.scale, seed=args.seed)
+        tables = experiments.run_all(scale=args.scale, seed=args.seed,
+                                     lab=lab)
     else:
-        tables = [_EXPERIMENTS[args.experiment](scale=args.scale)]
+        tables = [_EXPERIMENTS[args.experiment](scale=args.scale,
+                                                lab=lab)]
     for table in tables:
         print(render_table(table))
         if args.chart:

@@ -21,7 +21,7 @@ experiment        paper result
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from repro.bench.runner import (
     GridKey,
@@ -36,6 +36,9 @@ from repro.config import LINE_SIZE
 from repro.sim.results import RunResult
 from repro.workloads.registry import ALL_WORKLOADS
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lab.bridge import LabCache
+
 PAPER_TABLE2 = {2: 0.3285, 4: 0.4744, 8: 0.6437, 16: 0.7475, 32: 0.8219}
 PAPER_FIG11 = {"star": 1.08, "anubis": 2.0}
 PAPER_FIG12 = {"star": 0.98, "anubis": 0.90}
@@ -46,11 +49,17 @@ PAPER_FIG14B = {"star_4mb_s": 0.05, "anubis_4mb_s": 0.02}
 
 def paper_grid(scale: str = "default",
                workloads: Optional[Iterable[str]] = None,
-               seed: int = 42) -> Dict[GridKey, RunResult]:
-    """The scheme x workload grid shared by Figs. 10-13 and 14(a)."""
+               seed: int = 42,
+               lab: Optional["LabCache"] = None
+               ) -> Dict[GridKey, RunResult]:
+    """The scheme x workload grid shared by Figs. 10-13 and 14(a).
+
+    ``lab`` serves cells from (and commits misses to) a lab store —
+    see :mod:`repro.lab` and ``star-bench --lab DIR``.
+    """
     config = config_for_scale(scale)
     return run_grid(config, PAPER_SCHEMES, workloads, scale=scale,
-                    seed=seed)
+                    seed=seed, lab=lab)
 
 
 def _workloads_of(grid: Dict[GridKey, RunResult]) -> List[str]:
@@ -65,10 +74,11 @@ def _workloads_of(grid: Dict[GridKey, RunResult]) -> List[str]:
 # Fig. 10 — bitmap-line write traffic vs WB write traffic
 # ----------------------------------------------------------------------
 def experiment_fig10(scale: str = "default",
-                     grid: Optional[Dict[GridKey, RunResult]] = None
+                     grid: Optional[Dict[GridKey, RunResult]] = None,
+                     lab: Optional["LabCache"] = None
                      ) -> ExperimentTable:
     if grid is None:
-        grid = paper_grid(scale)
+        grid = paper_grid(scale, lab=lab)
     table = ExperimentTable(
         experiment_id="Fig. 10",
         title="bitmap-line writes of STAR vs WB write traffic",
@@ -135,10 +145,11 @@ def _normalized_experiment(grid: Dict[GridKey, RunResult],
 
 
 def experiment_fig11(scale: str = "default",
-                     grid: Optional[Dict[GridKey, RunResult]] = None
+                     grid: Optional[Dict[GridKey, RunResult]] = None,
+                     lab: Optional["LabCache"] = None
                      ) -> ExperimentTable:
     if grid is None:
-        grid = paper_grid(scale)
+        grid = paper_grid(scale, lab=lab)
     return _normalized_experiment(
         grid, "Fig. 11", "NVM write traffic normalized to WB",
         "normalized_writes",
@@ -151,10 +162,11 @@ def experiment_fig11(scale: str = "default",
 
 
 def experiment_fig12(scale: str = "default",
-                     grid: Optional[Dict[GridKey, RunResult]] = None
+                     grid: Optional[Dict[GridKey, RunResult]] = None,
+                     lab: Optional["LabCache"] = None
                      ) -> ExperimentTable:
     if grid is None:
-        grid = paper_grid(scale)
+        grid = paper_grid(scale, lab=lab)
     return _normalized_experiment(
         grid, "Fig. 12", "IPC normalized to WB", "normalized_ipc",
         [
@@ -165,10 +177,11 @@ def experiment_fig12(scale: str = "default",
 
 
 def experiment_fig13(scale: str = "default",
-                     grid: Optional[Dict[GridKey, RunResult]] = None
+                     grid: Optional[Dict[GridKey, RunResult]] = None,
+                     lab: Optional["LabCache"] = None
                      ) -> ExperimentTable:
     if grid is None:
-        grid = paper_grid(scale)
+        grid = paper_grid(scale, lab=lab)
     return _normalized_experiment(
         grid, "Fig. 13", "NVM energy normalized to WB",
         "normalized_energy",
@@ -183,7 +196,8 @@ def experiment_table2(scale: str = "default",
                       adr_line_counts: Sequence[int] = (2, 4, 8, 16, 32),
                       workloads: Optional[Iterable[str]] = None,
                       seed: int = 42,
-                      bitmap_fanout: int = 64) -> ExperimentTable:
+                      bitmap_fanout: int = 64,
+                      lab: Optional["LabCache"] = None) -> ExperimentTable:
     """ADR pressure depends on how many bitmap lines the touched
     metadata spans; the tighter fanout keeps the span-to-ADR ratio at
     the paper's scale (see ``sim_config``'s scaling note)."""
@@ -210,7 +224,7 @@ def experiment_table2(scale: str = "default",
         for workload in workloads:
             result = run_one(
                 config, "star", workload,
-                spec.operations_for(workload), seed=seed,
+                spec.operations_for(workload), seed=seed, lab=lab,
             )
             ratios.append(result.adr_hit_ratio)
         table.add_row(
@@ -225,10 +239,11 @@ def experiment_table2(scale: str = "default",
 # Fig. 14(a) — dirty fraction of the metadata cache
 # ----------------------------------------------------------------------
 def experiment_fig14a(scale: str = "default",
-                      grid: Optional[Dict[GridKey, RunResult]] = None
+                      grid: Optional[Dict[GridKey, RunResult]] = None,
+                      lab: Optional["LabCache"] = None
                       ) -> ExperimentTable:
     if grid is None:
-        grid = paper_grid(scale)
+        grid = paper_grid(scale, lab=lab)
     table = ExperimentTable(
         experiment_id="Fig. 14(a)",
         title="dirty share of the metadata cache at crash time",
@@ -258,7 +273,8 @@ def experiment_fig14b(scale: str = "default",
                       workload: str = "hash",
                       paper_cache_mbytes: Sequence[float] = (
                           0.5, 1.0, 2.0, 4.0),
-                      seed: int = 42) -> ExperimentTable:
+                      seed: int = 42,
+                      lab: Optional["LabCache"] = None) -> ExperimentTable:
     """Measured recovery time on sim-scale caches, plus the projection
     to the paper's cache sizes using the measured per-line costs."""
     from repro.bench.runner import SCALES
@@ -286,10 +302,10 @@ def experiment_fig14b(scale: str = "default",
         config = config_for_scale(scale).with_metadata_cache_bytes(size)
         star = run_one(config, "star", workload,
                        spec.operations_for(workload), seed=seed,
-                       crash_and_recover=True)
+                       crash_and_recover=True, lab=lab)
         anubis = run_one(config, "anubis", workload,
                          spec.operations_for(workload), seed=seed,
-                         crash_and_recover=True)
+                         crash_and_recover=True, lab=lab)
         assert star.recovery is not None and anubis.recovery is not None
         if star.recovery.stale_lines:
             star_per_stale = (
@@ -325,16 +341,16 @@ def experiment_fig14b(scale: str = "default",
 # ----------------------------------------------------------------------
 # everything
 # ----------------------------------------------------------------------
-def run_all(scale: str = "default", seed: int = 42
-            ) -> List[ExperimentTable]:
+def run_all(scale: str = "default", seed: int = 42,
+            lab: Optional["LabCache"] = None) -> List[ExperimentTable]:
     """Regenerate every table and figure of the paper's evaluation."""
-    grid = paper_grid(scale, seed=seed)
+    grid = paper_grid(scale, seed=seed, lab=lab)
     return [
         experiment_fig10(scale, grid),
         experiment_fig11(scale, grid),
         experiment_fig12(scale, grid),
         experiment_fig13(scale, grid),
-        experiment_table2(scale, seed=seed),
+        experiment_table2(scale, seed=seed, lab=lab),
         experiment_fig14a(scale, grid),
-        experiment_fig14b(scale, seed=seed),
+        experiment_fig14b(scale, seed=seed, lab=lab),
     ]

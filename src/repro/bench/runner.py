@@ -10,12 +10,15 @@ picks smaller/larger grids for quick smoke runs or higher fidelity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import SystemConfig, sim_config
 from repro.sim.machine import Machine
 from repro.sim.results import RunResult
 from repro.workloads.registry import ALL_WORKLOADS, make_workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lab.bridge import LabCache
 
 GridKey = Tuple[str, str]
 """(scheme name, workload name)."""
@@ -88,14 +91,26 @@ def run_one(config: SystemConfig, scheme: str, workload: str,
             operations: int, seed: int = 42,
             crash_and_recover: bool = False,
             telemetry: bool = True,
-            events_jsonl: Optional[str] = None) -> RunResult:
+            events_jsonl: Optional[str] = None,
+            lab: Optional["LabCache"] = None) -> RunResult:
     """Run one workload under one scheme; optionally crash + recover.
 
     Telemetry (histograms, spans, the structured event log) is on by
     default and lands in ``RunResult.extras["telemetry"]``;
     ``events_jsonl`` additionally streams the event log to a JSONL file
     while the run executes.
+
+    ``lab`` routes the cell through a :class:`repro.lab.LabCache`: a
+    cell already in the store is deserialized instead of re-simulated,
+    a missing one is computed once and committed. Lab cells carry the
+    counter snapshot but no live telemetry objects, so ``telemetry``
+    and ``events_jsonl`` are ignored on that path.
     """
+    if lab is not None:
+        return lab.run_one(
+            config, scheme, workload, operations, seed=seed,
+            crash_and_recover=crash_and_recover,
+        )
     machine = Machine(config, scheme=scheme, telemetry=telemetry)
     if events_jsonl is not None:
         machine.stats.registry.events.open_sink(events_jsonl)
@@ -119,7 +134,8 @@ def run_grid(config: SystemConfig,
              workloads: Optional[Iterable[str]] = None,
              operations: Optional[Dict[str, int]] = None,
              scale: str = "default",
-             seed: int = 42) -> Dict[GridKey, RunResult]:
+             seed: int = 42,
+             lab: Optional["LabCache"] = None) -> Dict[GridKey, RunResult]:
     """Run every (scheme, workload) pair and return the result grid."""
     spec = SCALES[scale]
     schemes = list(schemes) if schemes is not None else list(PAPER_SCHEMES)
@@ -135,7 +151,7 @@ def run_grid(config: SystemConfig,
         )
         for scheme in schemes:
             grid[(scheme, workload)] = run_one(
-                config, scheme, workload, ops, seed=seed
+                config, scheme, workload, ops, seed=seed, lab=lab
             )
     return grid
 

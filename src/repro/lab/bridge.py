@@ -1,0 +1,46 @@
+"""Read-through lab cache for the figure reproductions.
+
+``star-bench --lab DIR`` hands one :class:`LabCache` down through
+:func:`repro.bench.runner.run_one` / ``run_grid``. Each cell is keyed
+by its :class:`~repro.lab.spec.RunSpec` hash: a stored cell is
+deserialized instead of re-simulated, a missing cell is computed once
+and committed. The returned :class:`~repro.sim.results.RunResult` is
+*always* the payload reconstruction — also on the compute path — so a
+figure renders identically whether its cells were cached or fresh.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.config import SystemConfig
+from repro.lab.executor import execute, payload_to_run_result
+from repro.lab.spec import bench_spec
+from repro.lab.store import PathLike, ResultStore
+from repro.sim.results import RunResult
+from repro.util.stats import Stats
+
+
+class LabCache:
+    """Cache bench cells in (and serve them from) a lab store."""
+
+    def __init__(self, store: Union[ResultStore, PathLike],
+                 stats: Optional[Stats] = None) -> None:
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store, stats=stats)
+        self.store = store
+        self.stats = stats if stats is not None else store.stats
+
+    def run_one(self, config: SystemConfig, scheme: str,
+                workload: str, operations: int, seed: int = 42,
+                crash_and_recover: bool = False) -> RunResult:
+        """The cell's ``RunResult``, computed at most once per store."""
+        spec = bench_spec(
+            config, scheme, workload, operations, seed=seed,
+            crash_and_recover=crash_and_recover,
+        )
+        record = self.store.get(spec)
+        if record is None:
+            payload = execute(spec)
+            record = self.store.put(spec, payload)
+        return payload_to_run_result(record.payload)

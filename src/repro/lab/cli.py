@@ -1,0 +1,300 @@
+"""``star-lab``: persistent experiment campaigns over a result store.
+
+Examples::
+
+    # run the Table II sweep into a store, 4 worker shards
+    star-lab run --grid table2 --store .starlab --jobs 4
+
+    # a campaign killed mid-run (Ctrl-C, timeout, crash) resumes
+    # exactly where it stopped — stored cells are never recomputed
+    star-lab resume --grid table2 --store .starlab
+
+    # inspect campaigns / export the deterministic result set
+    star-lab status --store .starlab
+    star-lab export --store .starlab -o results.json
+
+    # drop cells no longer referenced by the given grids
+    star-lab gc --store .starlab --grid table2 --grid fig14b
+
+Exit codes: 0 campaign complete, 1 cells failed permanently,
+3 campaign interrupted (resume to continue).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.bench.tables import ExperimentTable, render_table
+from repro.errors import ReproError
+from repro.lab import gridfile
+from repro.lab.scheduler import (
+    CampaignReport,
+    Scheduler,
+    find_journal,
+    journal_specs,
+    read_journals,
+)
+from repro.lab.spec import RunSpec
+from repro.lab.store import ResultStore
+from repro.util.stats import Stats
+
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_INTERRUPTED = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="star-lab",
+        description="Persistent, resumable experiment campaigns over "
+                    "a content-addressed result store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(sub):
+        sub.add_argument("--store", default=".starlab",
+                         help="store root (default: .starlab)")
+
+    run = commands.add_parser(
+        "run", help="run a grid campaign (cached cells are skipped)"
+    )
+    add_store(run)
+    run.add_argument("--grid", action="append", required=True,
+                     metavar="NAME|PATH",
+                     help="built-in grid name (%s) or grid JSON path; "
+                          "repeatable"
+                          % ", ".join(sorted(gridfile.BUILTIN_GRIDS)))
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker shards (spawn processes when > 1)")
+    run.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell timeout (needs --jobs > 1)")
+    run.add_argument("--retries", type=int, default=2,
+                     help="retry budget per cell (default 2)")
+    run.add_argument("--backoff", type=float, default=0.5,
+                     metavar="SECONDS",
+                     help="retry backoff base (linear; default 0.5)")
+    run.add_argument("--max-cells", type=int, default=None,
+                     help="compute at most N cells this invocation "
+                          "(controlled interruption; resume later)")
+    run.add_argument("--quiet", action="store_true")
+
+    status = commands.add_parser(
+        "status", help="show campaign checkpoints against the store"
+    )
+    add_store(status)
+
+    resume = commands.add_parser(
+        "resume", help="continue an interrupted campaign"
+    )
+    add_store(resume)
+    resume.add_argument("--grid", action="append", default=None,
+                        metavar="NAME|PATH",
+                        help="re-expand these grids instead of reading "
+                             "a campaign journal")
+    resume.add_argument("--campaign", default=None, metavar="IDPREFIX",
+                        help="journal to resume (unique id prefix); "
+                             "default: the only unfinished campaign")
+    resume.add_argument("--jobs", type=int, default=1)
+    resume.add_argument("--timeout", type=float, default=None)
+    resume.add_argument("--retries", type=int, default=2)
+    resume.add_argument("--backoff", type=float, default=0.5)
+    resume.add_argument("--max-cells", type=int, default=None)
+    resume.add_argument("--quiet", action="store_true")
+
+    export = commands.add_parser(
+        "export", help="deterministic JSON dump of stored results"
+    )
+    add_store(export)
+    export.add_argument("--grid", action="append", default=None,
+                        help="restrict to these grids' cells")
+    export.add_argument("--hash-prefix", default="",
+                        help="restrict to spec hashes with this prefix")
+    export.add_argument("-o", "--output", default=None,
+                        help="output path (default: stdout)")
+
+    gc = commands.add_parser(
+        "gc", help="drop unreferenced cells, orphan blobs, temp files"
+    )
+    add_store(gc)
+    gc.add_argument("--grid", action="append", default=None,
+                    help="grids whose cells to KEEP; everything else "
+                         "is dropped (omit to only clean orphans)")
+    gc.add_argument("--purge-quarantine", action="store_true",
+                    help="also delete quarantined corrupt files")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# run / resume
+# ----------------------------------------------------------------------
+def _report_table(report: CampaignReport,
+                  stats: Stats) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="star-lab",
+        title="campaign %s (%s)" % (report.campaign_id, report.name),
+        columns=["cells", "resumed", "computed", "failed",
+                 "remaining", "store_hits", "store_misses"],
+    )
+    table.add_row(
+        cells=report.total,
+        resumed=report.resumed,
+        computed=report.completed,
+        failed=report.failed,
+        remaining=report.remaining,
+        store_hits=stats.get("lab.store.hits"),
+        store_misses=stats.get("lab.store.misses"),
+    )
+    if report.interrupted:
+        table.notes.append(
+            "campaign interrupted: %d cells remain; run star-lab "
+            "resume to continue" % report.remaining
+        )
+    for failure in report.failures:
+        table.notes.append(
+            "FAILED %s (%s, %d attempts): %s"
+            % (failure["spec_hash"][:12], failure["label"],
+               failure["attempts"], failure["error"])
+        )
+    return table
+
+
+def _run_specs(args, specs: List[RunSpec], name: str) -> int:
+    stats = Stats(enabled=True)
+    store = ResultStore(args.store, stats=stats)
+    scheduler = Scheduler(
+        store, jobs=args.jobs, timeout_s=args.timeout,
+        retries=args.retries, backoff_s=args.backoff, stats=stats,
+    )
+    report = scheduler.run(specs, name=name,
+                           max_cells=args.max_cells)
+    if not args.quiet:
+        print(render_table(_report_table(report, stats)))
+    if report.failed:
+        return EXIT_FAILURES
+    if report.interrupted:
+        return EXIT_INTERRUPTED
+    return EXIT_OK
+
+
+def _cmd_run(args) -> int:
+    specs = gridfile.resolve_specs(args.grid)
+    name = "+".join(
+        gridfile.load_grid(grid).get("name", str(grid))
+        for grid in args.grid
+    )
+    return _run_specs(args, specs, name)
+
+
+def _cmd_resume(args) -> int:
+    if args.grid:
+        return _cmd_run(args)
+    store = ResultStore(args.store)
+    if args.campaign:
+        journal = find_journal(store, args.campaign)
+        if journal is None:
+            print("no unique campaign matches %r" % args.campaign,
+                  file=sys.stderr)
+            return 2
+    else:
+        unfinished = [
+            journal for journal in read_journals(store)
+            if journal.get("status") != "complete"
+        ]
+        if len(unfinished) != 1:
+            print("found %d unfinished campaigns; pass --campaign or "
+                  "--grid" % len(unfinished), file=sys.stderr)
+            return 2
+        journal = unfinished[0]
+    store.close()
+    specs = journal_specs(journal)
+    return _run_specs(args, specs, journal.get("name", "campaign"))
+
+
+# ----------------------------------------------------------------------
+# status / export / gc
+# ----------------------------------------------------------------------
+def _cmd_status(args) -> int:
+    store = ResultStore(args.store)
+    table = ExperimentTable(
+        experiment_id="star-lab",
+        title="campaigns in %s (%d stored cells)"
+              % (args.store, len(store)),
+        columns=["campaign", "name", "status", "cells", "stored",
+                 "failed"],
+    )
+    for journal in read_journals(store):
+        specs = journal_specs(journal)
+        stored = sum(1 for spec in specs if spec in store)
+        counts = journal.get("counts", {})
+        table.add_row(
+            campaign=journal["campaign_id"],
+            name=journal.get("name", "?"),
+            status=journal.get("status", "?"),
+            cells=len(specs),
+            stored=stored,
+            failed=counts.get("failed", 0),
+        )
+    print(render_table(table))
+    return EXIT_OK
+
+
+def _export_payload(store: ResultStore,
+                    grids: Optional[List[str]],
+                    hash_prefix: str) -> List[Dict]:
+    spec_hashes = None
+    if grids:
+        spec_hashes = [
+            spec.spec_hash for spec in gridfile.resolve_specs(grids)
+        ]
+    return store.export(spec_hashes=spec_hashes, prefix=hash_prefix)
+
+
+def _cmd_export(args) -> int:
+    store = ResultStore(args.store)
+    entries = _export_payload(store, args.grid, args.hash_prefix)
+    text = json.dumps(entries, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %d records to %s" % (len(entries), args.output))
+    else:
+        sys.stdout.write(text)
+    return EXIT_OK
+
+
+def _cmd_gc(args) -> int:
+    store = ResultStore(args.store)
+    keep = None
+    if args.grid:
+        keep = [
+            spec.spec_hash for spec in gridfile.resolve_specs(args.grid)
+        ]
+    removed = store.gc(keep_hashes=keep,
+                       purge_quarantine=args.purge_quarantine)
+    print("gc: dropped %(records)d records, %(orphan_blobs)d orphan "
+          "blobs, %(quarantined)d quarantined files" % removed)
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "resume": _cmd_resume,
+        "status": _cmd_status,
+        "export": _cmd_export,
+        "gc": _cmd_gc,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print("star-lab: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

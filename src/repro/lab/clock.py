@@ -1,0 +1,63 @@
+# lint: disable-file=STAR003
+#   this module IS the sanctioned wall-clock seam for repro.lab: every
+#   timeout/backoff decision in the scheduler goes through a Clock
+#   instance so tests substitute FakeClock and the rest of the lab
+#   package stays free of wall-clock reads (STAR003 covers repro/lab).
+"""Wall-clock seam for the lab scheduler.
+
+Job timeouts, retry backoff and shard wall-time measurement all need a
+clock, but wall-clock reads are banned from deterministic paths
+(STAR003) and make scheduler tests slow and flaky. This module is the
+single place the lab package touches real time:
+
+* :class:`Clock` — the production clock (monotonic ``perf_counter`` and
+  a real ``sleep``),
+* :class:`FakeClock` — a manually-advanced test double whose ``sleep``
+  returns instantly, so timeout/backoff tests run in microseconds.
+
+Everything else in ``repro.lab`` receives a clock instance; nothing
+else may import :mod:`time`.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Monotonic wall clock + sleep, injectable for tests."""
+
+    def now(self) -> float:
+        """Seconds on a monotonic clock (zero point is arbitrary)."""
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (the scheduler's poll/backoff waits)."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A deterministic clock for scheduler tests.
+
+    ``sleep`` advances simulated time instead of blocking, so a test
+    exercising a 30s timeout plus exponential backoff completes
+    immediately while the scheduler observes exactly the elapsed time
+    it expects.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: list = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.sleeps.append(seconds)
+            self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        self._now += seconds

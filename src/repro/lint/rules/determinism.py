@@ -1,10 +1,13 @@
 """STAR003: simulation paths must be deterministic.
 
-Fuzz campaigns (PR 2) replay cases bit-identically across processes and
-the perf gate (PR 3) compares committed scores, so anything under
-``repro/sim``, ``repro/core`` or ``repro/fuzz`` must not consult global
-randomness or wall clocks, and must not let set iteration order leak
-into traces. Flagged:
+Fuzz campaigns (PR 2) replay cases bit-identically across processes,
+the perf gate (PR 3) compares committed scores, and the lab store
+(PR 6) content-addresses results by spec, so anything under
+``repro/sim``, ``repro/core``, ``repro/fuzz`` or ``repro/lab`` must
+not consult global randomness or wall clocks, and must not let set
+iteration order leak into traces. The lab's single sanctioned
+wall-clock seam is ``repro/lab/clock.py`` (file-level pragma); all
+other lab timing goes through an injected ``Clock``. Flagged:
 
 * calls through the module-level ``random.*`` API (seeded
   ``random.Random(...)`` instances stay allowed — that is how workloads
@@ -30,7 +33,7 @@ _TIME_ATTRS = frozenset({
 })
 _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
 _DEFAULT_SCOPES: Tuple[str, ...] = (
-    "repro/sim/", "repro/core/", "repro/fuzz/",
+    "repro/sim/", "repro/core/", "repro/fuzz/", "repro/lab/",
 )
 
 

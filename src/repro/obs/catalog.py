@@ -51,6 +51,18 @@ METRICS: Dict[str, str] = {
     "fuzz.failures": "counter",
     "fuzz.tamper_applied": "counter",
     "fuzz.violations": "counter",
+    "lab.campaign.wall_s": "gauge",
+    "lab.job.wall_ms": "histogram",
+    "lab.jobs.completed": "counter",
+    "lab.jobs.failed": "counter",
+    "lab.jobs.resumed": "counter",
+    "lab.jobs.retried": "counter",
+    "lab.jobs.scheduled": "counter",
+    "lab.jobs.timeouts": "counter",
+    "lab.store.hits": "counter",
+    "lab.store.misses": "counter",
+    "lab.store.puts": "counter",
+    "lab.store.quarantined": "counter",
     "meta_cache.hits": "counter",
     "meta_cache.misses": "counter",
     "nvm.data_lines_touched": "gauge",

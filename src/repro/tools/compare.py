@@ -8,6 +8,15 @@ simulator, rerun the suite and compare against the archived baseline::
     star-bench --json after.json
     star-compare before.json after.json --tolerance 0.02
 
+Either side may also be a *lab store root* (see ``star-lab``): a
+directory argument is opened as a :class:`repro.lab.store.ResultStore`
+and every stored cell becomes one pseudo-experiment of flattened
+metric/value rows, so two campaigns — or a campaign before/after a
+simulator change — diff with the same machinery::
+
+    star-compare .starlab-before .starlab-after
+    star-compare .starlab@1f0c .starlab-other@1f0c   # spec-hash prefix
+
 Exit status 0 means every shared numeric cell agrees within the
 relative tolerance; 1 lists the drifted cells. New/removed experiments
 or rows are reported but are not failures by themselves (use
@@ -18,11 +27,61 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Tuple
 
 
+def _flatten(payload: dict, prefix: str = "") -> Dict[str, object]:
+    """Nested payload dicts as dotted scalar keys (lists skipped)."""
+    flat: Dict[str, object] = {}
+    for key in sorted(payload):
+        value = payload[key]
+        name = "%s.%s" % (prefix, key) if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(_flatten(value, name))
+        elif isinstance(value, (int, float, str, bool)):
+            flat[name] = value
+    return flat
+
+
+def _split_lab_ref(path: str) -> Optional[Tuple[str, str]]:
+    """``(root, hash_prefix)`` if *path* names a lab store, else None."""
+    root, _, prefix = path.partition("@")
+    if os.path.isdir(root):
+        return root, prefix
+    return None
+
+
+def load_lab_results(root: str, prefix: str = "") -> Dict[str, dict]:
+    """Lab store cells as one pseudo-experiment per stored spec."""
+    from repro.lab.store import ResultStore
+
+    store = ResultStore(root)
+    results: Dict[str, dict] = {}
+    for record in store.records(prefix):
+        spec = record.spec
+        name = "%s:%s/%s@%s #%s" % (
+            spec.get("kind", "?"), spec.get("scheme", "?"),
+            spec.get("workload", "?"), spec.get("seed", "?"),
+            record.spec_hash[:12],
+        )
+        flat = _flatten(record.payload)
+        results[name] = {
+            "experiment": name,
+            "columns": ["metric", "value"],
+            "rows": [
+                {"metric": metric, "value": value}
+                for metric, value in sorted(flat.items())
+            ],
+        }
+    return results
+
+
 def load_results(path: str) -> Dict[str, dict]:
+    lab_ref = _split_lab_ref(path)
+    if lab_ref is not None:
+        return load_lab_results(*lab_ref)
     with open(path) as handle:
         payload = json.load(handle)
     return {entry["experiment"]: entry for entry in payload}
@@ -81,7 +140,8 @@ def compare_results(before: Dict[str, dict], after: Dict[str, dict],
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="star-compare",
-        description="Diff two star-bench --json result dumps.",
+        description="Diff two star-bench --json result dumps or "
+                    "star-lab store roots (PATH or PATH@HASHPREFIX).",
     )
     parser.add_argument("before")
     parser.add_argument("after")

@@ -66,3 +66,52 @@ class TestCompare:
                         "--json", str(path)])
         capsys.readouterr()
         assert main([str(a), str(b)]) == 0
+
+
+class TestCompareLabStores:
+    """Directory arguments are opened as star-lab result stores."""
+
+    @staticmethod
+    def _store(root, value):
+        from repro.bench.runner import config_for_scale
+        from repro.lab.spec import bench_spec
+        from repro.lab.store import ResultStore
+
+        store = ResultStore(root)
+        config = config_for_scale("smoke")
+        for index, workload in enumerate(("array", "hash")):
+            spec = bench_spec(config, "star", workload, 40, seed=7)
+            store.put(spec, {
+                "version": 1,
+                "ipc": value + index,
+                "stats": {"nvm.data_writes": 100},
+            })
+        store.close()
+        return store
+
+    def test_identical_stores_agree(self, tmp_path, capsys):
+        self._store(tmp_path / "a", 1.0)
+        self._store(tmp_path / "b", 1.0)
+        assert main([str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_drifted_payload_is_flagged_per_metric(
+            self, tmp_path, capsys):
+        self._store(tmp_path / "a", 1.0)
+        self._store(tmp_path / "b", 2.0)
+        assert main([str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out and "ipc" in out
+
+    def test_hash_prefix_narrows_the_comparison(self, tmp_path):
+        from repro.lab.store import ResultStore
+        from repro.tools.compare import load_results
+
+        self._store(tmp_path / "a", 1.0)
+        self._store(tmp_path / "b", 2.0)
+        first = ResultStore(tmp_path / "a").hashes()[0][:12]
+        ref = "%s@%s" % (tmp_path / "a", first)
+        other = "%s@%s" % (tmp_path / "b", first)
+        assert len(load_results(ref)) == 1
+        assert len(load_results(str(tmp_path / "a"))) == 2
+        assert main([ref, other]) == 1

@@ -32,6 +32,19 @@ def _render_case(case_dict):
     return "\n".join(format_op(op) for op in ops)
 
 
+def _lab_spec_hashes(_index=0):
+    from repro.bench.runner import config_for_scale
+    from repro.lab.spec import bench_spec
+
+    config = config_for_scale("smoke")
+    return [
+        bench_spec(config, scheme, workload, OPERATIONS,
+                   seed=SEED).spec_hash
+        for scheme in ("wb", "anubis", "star")
+        for workload in ("array", "hash")
+    ]
+
+
 class TestCrossProcessDeterminism:
     def test_every_workload_identical_in_spawned_child(self):
         parent = {name: _render(name) for name in ALL_WORKLOADS}
@@ -49,3 +62,13 @@ class TestCrossProcessDeterminism:
         with context.Pool(processes=2) as pool:
             child = pool.map(_render_case, payloads)
         assert child == parent
+
+    def test_lab_spec_hashes_identical_in_spawned_child(self):
+        # the lab store is content-addressed by these hashes, so two
+        # shards (or two sittings of a resumed campaign) must agree on
+        # every cell key
+        parent = _lab_spec_hashes()
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=2) as pool:
+            children = pool.map(_lab_spec_hashes, range(2))
+        assert all(child == parent for child in children)

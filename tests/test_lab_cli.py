@@ -1,0 +1,123 @@
+"""star-lab CLI: run / status / resume / export / gc, in process."""
+
+import json
+
+import pytest
+
+from repro.lab.cli import main
+from repro.lab.store import ResultStore
+
+
+@pytest.fixture()
+def grid_path(tmp_path):
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps({
+        "name": "cli-smoke", "kind": "bench", "scale": "smoke",
+        "schemes": ["wb", "star"], "workloads": ["array"],
+        "seed": 7, "operations": 40,
+    }))
+    return str(path)
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestRun:
+    def test_run_completes_and_populates_the_store(
+            self, grid_path, tmp_path, capsys):
+        store_dir = str(tmp_path / "lab")
+        assert run_cli("run", "--grid", grid_path,
+                       "--store", store_dir) == 0
+        out = capsys.readouterr().out
+        assert "cli-smoke" in out
+        assert len(ResultStore(store_dir)) == 2
+
+    def test_second_run_resumes_every_cell(
+            self, grid_path, tmp_path, capsys):
+        store_dir = str(tmp_path / "lab")
+        run_cli("run", "--grid", grid_path, "--store", store_dir)
+        capsys.readouterr()
+        assert run_cli("run", "--grid", grid_path,
+                       "--store", store_dir) == 0
+        table = capsys.readouterr().out
+        row = [line for line in table.splitlines() if line.strip()][-1]
+        # cells / resumed / computed columns
+        assert row.split()[:3] == ["2", "2", "0"]
+
+    def test_unknown_grid_is_a_usage_error(self, tmp_path, capsys):
+        assert run_cli("run", "--grid", "no-such-grid",
+                       "--store", str(tmp_path / "lab")) == 2
+        assert "no grid named" in capsys.readouterr().err
+
+
+class TestInterruptResumeExport:
+    def test_killed_campaign_resumes_and_exports_identically(
+            self, grid_path, tmp_path, capsys):
+        serial = str(tmp_path / "serial")
+        resumed = str(tmp_path / "resumed")
+        run_cli("run", "--grid", grid_path, "--store", serial)
+
+        assert run_cli("run", "--grid", grid_path, "--store", resumed,
+                       "--max-cells", "1") == 3
+        assert "resume" in capsys.readouterr().out
+        # journal-driven resume: no --grid needed
+        assert run_cli("resume", "--store", resumed) == 0
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        run_cli("export", "--store", serial, "-o", str(a))
+        run_cli("export", "--store", resumed, "-o", str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_status_lists_the_campaign_checkpoint(
+            self, grid_path, tmp_path, capsys):
+        store_dir = str(tmp_path / "lab")
+        run_cli("run", "--grid", grid_path, "--store", store_dir,
+                "--max-cells", "1")
+        capsys.readouterr()
+        assert run_cli("status", "--store", store_dir) == 0
+        out = capsys.readouterr().out
+        assert "interrupted" in out and "cli-smoke" in out
+
+    def test_resume_without_unfinished_campaign_is_an_error(
+            self, grid_path, tmp_path, capsys):
+        store_dir = str(tmp_path / "lab")
+        run_cli("run", "--grid", grid_path, "--store", store_dir)
+        capsys.readouterr()
+        assert run_cli("resume", "--store", store_dir) == 2
+        assert "unfinished" in capsys.readouterr().err
+
+    def test_export_to_stdout_with_hash_prefix(
+            self, grid_path, tmp_path, capsys):
+        store_dir = str(tmp_path / "lab")
+        run_cli("run", "--grid", grid_path, "--store", store_dir)
+        hashes = ResultStore(store_dir).hashes()
+        capsys.readouterr()
+        assert run_cli("export", "--store", store_dir,
+                       "--hash-prefix", hashes[0][:16]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [entry["spec_hash"] for entry in entries] == [hashes[0]]
+
+
+class TestGc:
+    def test_gc_keeps_grid_cells_and_drops_the_rest(
+            self, grid_path, tmp_path, capsys):
+        store_dir = str(tmp_path / "lab")
+        run_cli("run", "--grid", grid_path, "--store", store_dir)
+        store = ResultStore(store_dir)
+        keep = store.hashes()
+        # an extra cell not referenced by the grid
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({
+            "name": "other", "kind": "bench", "scale": "smoke",
+            "schemes": ["anubis"], "workloads": ["array"],
+            "seed": 7, "operations": 40,
+        }))
+        run_cli("run", "--grid", str(other), "--store", store_dir)
+        store.close()
+        capsys.readouterr()
+
+        assert run_cli("gc", "--store", store_dir,
+                       "--grid", grid_path) == 0
+        assert "dropped 1 records" in capsys.readouterr().out
+        assert sorted(ResultStore(store_dir).hashes()) == sorted(keep)
