@@ -96,7 +96,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--telemetry", metavar="DIR", default=None,
         help="additionally run one instrumented STAR crash+recovery at "
              "the chosen scale and write metrics.json / metrics.prom / "
-             "events.jsonl / spans.txt into DIR",
+             "events.jsonl / spans.txt / trace.json into DIR",
     )
     parser.add_argument(
         "--perf", metavar="PATH", nargs="?", const="BENCH_hotpath.json",
@@ -222,7 +222,7 @@ def _dump_telemetry(directory: str, scale: str, seed: int) -> None:
 
     os.makedirs(directory, exist_ok=True)
     config = config_for_scale(scale)
-    machine = Machine(config, scheme="star")
+    machine = Machine(config, scheme="star", profile=True)
     events_path = os.path.join(directory, "events.jsonl")
     machine.stats.registry.events.open_sink(events_path)
     workload = make_workload(
@@ -249,7 +249,10 @@ def _dump_telemetry(directory: str, scale: str, seed: int) -> None:
         handle.write(render_span_tree(
             machine.recovery_stats.registry.tracer.to_list()
         ) + "\n")
-    for path in (events_path, json_path, prom_path, spans_path):
+    trace_path = os.path.join(directory, "trace.json")
+    machine.profiler.write_chrome_trace(trace_path)
+    for path in (events_path, json_path, prom_path, spans_path,
+                 trace_path):
         print("wrote %s" % path)
 
 

@@ -85,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run every case on Machine(sanitize=True): "
                           "runtime write sanitizers on top of the "
                           "oracle stack (repro.sim.sanitize)")
+    run.add_argument("--telemetry", metavar="DIR", default=None,
+                     help="publish per-worker heartbeat/metric "
+                          "snapshots into DIR for star-top "
+                          "(repro.obs.live)")
+    run.add_argument("--heartbeat-interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="min seconds between heartbeat publications "
+                          "per worker (default 1.0; 0 = every case)")
     run.add_argument("--quiet", action="store_true")
 
     replay = commands.add_parser(
@@ -161,8 +169,11 @@ def _cmd_run(args) -> int:
 
     with corpus_io.CorpusWriter(corpus_path) as writer:
         writer.write_header(spec.to_dict())
-        campaign = run_campaign(spec, jobs=args.jobs, progress=progress,
-                                sanitize=args.sanitize)
+        campaign = run_campaign(
+            spec, jobs=args.jobs, progress=progress,
+            sanitize=args.sanitize, telemetry_dir=args.telemetry,
+            heartbeat_interval_s=args.heartbeat_interval,
+        )
         for failure in campaign.failures:
             writer.write_failure(failure)
         writer.write_summary(campaign.summary())

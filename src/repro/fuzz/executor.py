@@ -28,6 +28,7 @@ from repro.config import SystemConfig, small_config
 from repro.errors import RecoveryError
 from repro.fuzz.attacks import make_attack
 from repro.fuzz.oracle import Verdict, judge
+from repro.obs.flight import arm_flight_recorder, flight_tail
 from repro.fuzz.sampling import CampaignSpec, FuzzCase, sample_cases
 from repro.schemes.base import RecoveryReport
 from repro.sim.crash import Attacker
@@ -87,6 +88,11 @@ class CaseResult:
     restored_lines: int = 0
     readback_lines: int = 0
     violations: List[Dict[str, str]] = field(default_factory=list)
+    events_tail: List[Dict] = field(default_factory=list)
+    """Flight-recorder tail: the last events before the verdict (no
+    wall-clock fields, so serial and pooled runs serialize
+    identically). Empty on results recorded before the recorder
+    existed."""
 
     @property
     def failed(self) -> bool:
@@ -110,6 +116,7 @@ class CaseResult:
             "restored_lines": self.restored_lines,
             "readback_lines": self.readback_lines,
             "violations": self.violations,
+            "events_tail": self.events_tail,
         }
         return payload
 
@@ -141,22 +148,26 @@ def run_case(case: FuzzCase, ops: Optional[Sequence[Op]] = None,
         ops = list(ops)
         crash_at = len(ops)
     result = CaseResult(case=case, ops_total=len(ops), crash_at=crash_at)
+    machine = Machine(config, scheme=case.scheme, telemetry=False,
+                      sanitize=sanitize)
+    # flight recorder: keep the ring-buffered event log running on the
+    # otherwise telemetry-dark machine so failures carry their tail
+    arm_flight_recorder(machine.stats)
     try:
-        _execute(case, ops, defect, config, result, sanitize)
+        _execute(machine, case, ops, defect, result)
     except Exception:
         summary = traceback.format_exc(limit=4).strip().splitlines()
         result.violations.append({
             "kind": "exception",
             "detail": "harness/simulator raised: %s" % summary[-1],
         })
+    if result.failed:
+        result.events_tail = flight_tail(machine)
     return result
 
 
-def _execute(case: FuzzCase, ops: Sequence[Op], defect: Optional[str],
-             config: SystemConfig, result: CaseResult,
-             sanitize: bool = False) -> None:
-    machine = Machine(config, scheme=case.scheme, telemetry=False,
-                      sanitize=sanitize)
+def _execute(machine: Machine, case: FuzzCase, ops: Sequence[Op],
+             defect: Optional[str], result: CaseResult) -> None:
     attacker = Attacker(machine.nvm)
     attack = make_attack(case.attack) if case.attack else None
 
@@ -220,11 +231,57 @@ def _execute(case: FuzzCase, ops: Sequence[Op], defect: Optional[str],
 # ----------------------------------------------------------------------
 # the parallel campaign driver
 # ----------------------------------------------------------------------
+_WORKER_TELEMETRY: Optional[Dict] = None
+"""Per-process live-telemetry state (worker stats + heartbeat writer),
+created lazily on the first case a pool worker executes."""
+
+
+def _worker_telemetry(telemetry) -> Optional[Dict]:
+    global _WORKER_TELEMETRY
+    if telemetry is None:
+        return None
+    if _WORKER_TELEMETRY is None:
+        from repro.lab.clock import Clock
+        from repro.obs.live import HeartbeatWriter
+
+        directory, interval_s = telemetry
+        worker = multiprocessing.current_process().name
+        stats = Stats()
+        _WORKER_TELEMETRY = {
+            "stats": stats,
+            "cases": 0,
+            "writer": HeartbeatWriter(
+                directory, worker, clock=Clock(),
+                interval_s=interval_s, stats=stats,
+            ),
+        }
+    return _WORKER_TELEMETRY
+
+
+def _ship_heartbeat(telemetry, result: "CaseResult") -> None:
+    """Count one finished case into this worker's registry and
+    publish a (throttled) snapshot; failures always force a beat."""
+    state = _worker_telemetry(telemetry)
+    if state is None:
+        return
+    stats = state["stats"]
+    _count(stats, result)
+    state["cases"] += 1
+    state["writer"].write(
+        registry=stats.registry,
+        progress={"cases": state["cases"],
+                  "last_case": result.case.case_id},
+        force=result.failed,
+    )
+
+
 def _campaign_worker(payload) -> Dict:
     """Top-level (picklable) pool entry point."""
-    case_dict, defect, sanitize = payload
+    case_dict, defect, sanitize, telemetry = payload
     case = FuzzCase.from_dict(case_dict)
-    return run_case(case, defect=defect, sanitize=sanitize).to_dict()
+    result = run_case(case, defect=defect, sanitize=sanitize)
+    _ship_heartbeat(telemetry, result)
+    return result.to_dict()
 
 
 @dataclass
@@ -258,11 +315,25 @@ class CampaignResult:
 
 def run_campaign(spec: CampaignSpec, jobs: int = 1,
                  progress: Optional[Callable[[CaseResult], None]] = None,
-                 sanitize: bool = False) -> CampaignResult:
-    """Run every sampled case, serially or across a process pool."""
+                 sanitize: bool = False,
+                 telemetry_dir=None,
+                 heartbeat_interval_s: float = 1.0) -> CampaignResult:
+    """Run every sampled case, serially or across a process pool.
+
+    ``telemetry_dir`` opts into the live plane: every executing process
+    (pool workers, or this process when serial) publishes heartbeat +
+    metric snapshots there for ``star-top`` — see
+    :mod:`repro.obs.live`. Heartbeats never influence results.
+    """
+    global _WORKER_TELEMETRY
+    _WORKER_TELEMETRY = None  # fresh serial-mode state per campaign
+    telemetry = None
+    if telemetry_dir is not None:
+        telemetry = (str(telemetry_dir), heartbeat_interval_s)
     cases = sample_cases(spec)
     payloads = [
-        (case.to_dict(), spec.defect, sanitize) for case in cases
+        (case.to_dict(), spec.defect, sanitize, telemetry)
+        for case in cases
     ]
     stats = Stats()
     results: List[CaseResult] = []

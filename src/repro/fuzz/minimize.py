@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fuzz.executor import materialize_trace, run_case
 from repro.fuzz.sampling import FuzzCase
@@ -43,6 +43,9 @@ class MinimizationResult:
     original_ops: int
     runs: int
     defect: Optional[str] = None
+    events_tail: Optional[List[Dict]] = None
+    """Flight-recorder tail of the minimized repro (the last events
+    before the oracle fired), shipped in the ``.json`` sidecar."""
 
     @property
     def minimized_ops(self) -> int:
@@ -127,9 +130,14 @@ def minimize_failure(case: FuzzCase, defect: Optional[str] = None,
     budget = _Budget(max_runs)
     ops = _minimal_failing_prefix(case, ops, target, defect, budget)
     ops = _ddmin(case, ops, target, defect, budget)
+    # one extra run of the final minimized trace captures the flight-
+    # recorder tail that belongs to the artifact being written (the
+    # original tail describes the unminimized trace)
+    final = run_case(case, ops=ops, defect=defect)
     return MinimizationResult(
         case=case, signature=target, ops=ops,
         original_ops=crash_at, runs=budget.runs, defect=defect,
+        events_tail=final.events_tail,
     )
 
 
@@ -159,6 +167,7 @@ def write_artifacts(result: MinimizationResult,
         "signature": list(result.signature),
         "defect": result.defect,
         "runs": result.runs,
+        "events_tail": result.events_tail or [],
     }
     meta_path.write_text(json.dumps(meta, indent=2, sort_keys=True)
                          + "\n", encoding="ascii")

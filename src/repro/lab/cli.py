@@ -25,14 +25,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.bench.tables import ExperimentTable, render_table
 from repro.errors import ReproError
 from repro.lab import gridfile
+from repro.lab.clock import Clock
 from repro.lab.scheduler import (
     CampaignReport,
     Scheduler,
+    checkpoint_rates,
     find_journal,
     journal_specs,
     read_journals,
@@ -80,12 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-cells", type=int, default=None,
                      help="compute at most N cells this invocation "
                           "(controlled interruption; resume later)")
+    _add_telemetry(run)
     run.add_argument("--quiet", action="store_true")
 
     status = commands.add_parser(
         "status", help="show campaign checkpoints against the store"
     )
     add_store(status)
+    status.add_argument("--stale-after", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="flag running campaigns whose last "
+                             "checkpoint is older than this "
+                             "(default 30)")
 
     resume = commands.add_parser(
         "resume", help="continue an interrupted campaign"
@@ -103,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--retries", type=int, default=2)
     resume.add_argument("--backoff", type=float, default=0.5)
     resume.add_argument("--max-cells", type=int, default=None)
+    _add_telemetry(resume)
     resume.add_argument("--quiet", action="store_true")
 
     export = commands.add_parser(
@@ -126,6 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--purge-quarantine", action="store_true",
                     help="also delete quarantined corrupt files")
     return parser
+
+
+def _add_telemetry(sub) -> None:
+    sub.add_argument("--telemetry", nargs="?", metavar="DIR",
+                     const="auto", default=None,
+                     help="publish live heartbeat/metric snapshots for "
+                          "star-top; DIR defaults to <store>/telemetry")
+    sub.add_argument("--heartbeat-interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="min seconds between scheduler heartbeats "
+                          "(default 1.0)")
 
 
 # ----------------------------------------------------------------------
@@ -165,9 +186,16 @@ def _report_table(report: CampaignReport,
 def _run_specs(args, specs: List[RunSpec], name: str) -> int:
     stats = Stats(enabled=True)
     store = ResultStore(args.store, stats=stats)
+    telemetry_dir = None
+    if getattr(args, "telemetry", None) is not None:
+        telemetry_dir = (Path(args.store) / "telemetry"
+                         if args.telemetry == "auto"
+                         else Path(args.telemetry))
     scheduler = Scheduler(
         store, jobs=args.jobs, timeout_s=args.timeout,
         retries=args.retries, backoff_s=args.backoff, stats=stats,
+        telemetry_dir=telemetry_dir,
+        heartbeat_interval_s=getattr(args, "heartbeat_interval", 1.0),
     )
     report = scheduler.run(specs, name=name,
                            max_cells=args.max_cells)
@@ -224,19 +252,35 @@ def _cmd_status(args) -> int:
         title="campaigns in %s (%d stored cells)"
               % (args.store, len(store)),
         columns=["campaign", "name", "status", "cells", "stored",
-                 "failed"],
+                 "failed", "rate", "eta"],
     )
+    now_wall = Clock().wall()
+    stale_seen = False
     for journal in read_journals(store):
         specs = journal_specs(journal)
         stored = sum(1 for spec in specs if spec in store)
         counts = journal.get("counts", {})
+        throughput, eta, stale = checkpoint_rates(
+            journal, now_wall=now_wall,
+            stale_after_s=getattr(args, "stale_after", 30.0),
+        )
+        stale_seen = stale_seen or stale
+        status = journal.get("status", "?")
         table.add_row(
             campaign=journal["campaign_id"],
             name=journal.get("name", "?"),
-            status=journal.get("status", "?"),
+            status=status + " (stale)" if stale else status,
             cells=len(specs),
             stored=stored,
             failed=counts.get("failed", 0),
+            rate=("%.2f/s" % throughput) if throughput else "-",
+            eta=("%.0fs" % eta) if eta is not None else "-",
+        )
+    if stale_seen:
+        table.notes.append(
+            "(stale): running campaign with no checkpoint for more "
+            "than %.0fs — scheduler likely dead; star-lab resume "
+            "continues it" % getattr(args, "stale_after", 30.0)
         )
     print(render_table(table))
     return EXIT_OK

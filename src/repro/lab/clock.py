@@ -31,6 +31,17 @@ class Clock:
         """Seconds on a monotonic clock (zero point is arbitrary)."""
         return time.perf_counter()
 
+    def wall(self) -> float:
+        """Seconds since the epoch.
+
+        Heartbeat files written by worker processes must carry
+        timestamps a *different* process can compare against its own
+        clock (``perf_counter`` zero points are per-process), so the
+        live-telemetry plane stamps snapshots with epoch time through
+        this seam.
+        """
+        return time.time()
+
     def sleep(self, seconds: float) -> None:
         """Block for ``seconds`` (the scheduler's poll/backoff waits)."""
         if seconds > 0:
@@ -51,6 +62,9 @@ class FakeClock(Clock):
         self.sleeps: list = []
 
     def now(self) -> float:
+        return self._now
+
+    def wall(self) -> float:
         return self._now
 
     def sleep(self, seconds: float) -> None:

@@ -48,14 +48,40 @@ from repro.util.stats import Stats
 Outcome = Tuple[str, object]
 """("ok", payload) or ("error", message)."""
 
+CHECKPOINT_LIMIT = 64
+"""Journal checkpoint entries retained (a bounded progress history —
+enough for throughput/ETA estimation, small enough to keep journal
+rewrites cheap)."""
+
 
 # ----------------------------------------------------------------------
 # job runners (real processes in production, fakes in tests)
 # ----------------------------------------------------------------------
-def _worker_main(conn, spec_dict: Dict) -> None:
+def _heartbeat_writer(telemetry):
+    """Build a worker-side heartbeat writer from a ``(dir, name)``
+    pair; ``None`` passes through (telemetry is strictly opt-in)."""
+    if telemetry is None:
+        return None
+    from repro.obs.live import HeartbeatWriter
+
+    directory, worker = telemetry
+    return HeartbeatWriter(directory, worker, interval_s=0.0)
+
+
+def _worker_main(conn, spec_dict: Dict, telemetry=None) -> None:
     """Child-process entry point: execute one spec, send the payload."""
     try:
-        payload = execute(RunSpec.from_dict(spec_dict))
+        spec = RunSpec.from_dict(spec_dict)
+        writer = _heartbeat_writer(telemetry)
+        if writer is not None:
+            writer.write(progress={"state": "running",
+                                   "label": spec.label,
+                                   "spec": spec.spec_hash}, force=True)
+        payload = execute(spec)
+        if writer is not None:
+            writer.write(progress={"state": "done",
+                                   "label": spec.label,
+                                   "spec": spec.spec_hash}, force=True)
         conn.send(("ok", payload))
     except BaseException:
         conn.send(("error",
@@ -67,14 +93,24 @@ def _worker_main(conn, spec_dict: Dict) -> None:
 class InlineHandle:
     """A job executed synchronously in the scheduler process."""
 
-    def __init__(self, spec: RunSpec, started: float) -> None:
+    def __init__(self, spec: RunSpec, started: float,
+                 telemetry=None) -> None:
         self.started = started
+        writer = _heartbeat_writer(telemetry)
+        if writer is not None:
+            writer.write(progress={"state": "running",
+                                   "label": spec.label,
+                                   "spec": spec.spec_hash}, force=True)
         try:
             self._outcome: Outcome = ("ok", execute(spec))
         except Exception:
             self._outcome = (
                 "error", traceback.format_exc(limit=6).strip()
             )
+        if writer is not None:
+            writer.write(progress={"state": "done",
+                                   "label": spec.label,
+                                   "spec": spec.spec_hash}, force=True)
 
     def poll(self) -> Optional[Outcome]:
         return self._outcome
@@ -86,18 +122,23 @@ class InlineHandle:
 class InlineRunner:
     """Serial execution: no processes, no preemption (jobs <= 1)."""
 
-    def start(self, spec: RunSpec, clock: Clock) -> InlineHandle:
-        return InlineHandle(spec, clock.now())
+    supports_telemetry = True
+
+    def start(self, spec: RunSpec, clock: Clock,
+              telemetry=None) -> InlineHandle:
+        return InlineHandle(spec, clock.now(), telemetry=telemetry)
 
 
 class ProcessHandle:
     """One spawned worker process executing one cell."""
 
-    def __init__(self, context, spec: RunSpec, started: float) -> None:
+    def __init__(self, context, spec: RunSpec, started: float,
+                 telemetry=None) -> None:
         self.started = started
         self._recv, child = context.Pipe(duplex=False)
         self.process = context.Process(
-            target=_worker_main, args=(child, spec.to_dict()),
+            target=_worker_main,
+            args=(child, spec.to_dict(), telemetry),
         )
         self.process.start()
         child.close()
@@ -133,11 +174,15 @@ class ProcessHandle:
 class ProcessRunner:
     """Spawn-start workers: the cold start a reproducing dev gets."""
 
+    supports_telemetry = True
+
     def __init__(self) -> None:
         self._context = multiprocessing.get_context("spawn")
 
-    def start(self, spec: RunSpec, clock: Clock) -> ProcessHandle:
-        return ProcessHandle(self._context, spec, clock.now())
+    def start(self, spec: RunSpec, clock: Clock,
+              telemetry=None) -> ProcessHandle:
+        return ProcessHandle(self._context, spec, clock.now(),
+                             telemetry=telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -193,7 +238,9 @@ class Scheduler:
                  clock: Optional[Clock] = None,
                  stats: Optional[Stats] = None,
                  poll_interval_s: float = 0.02,
-                 runner=None) -> None:
+                 runner=None,
+                 telemetry_dir=None,
+                 heartbeat_interval_s: float = 1.0) -> None:
         self.store = store
         self.jobs = max(1, jobs)
         self.timeout_s = timeout_s
@@ -206,7 +253,10 @@ class Scheduler:
             runner = (InlineRunner() if self.jobs <= 1
                       else ProcessRunner())
         self.runner = runner
+        self.telemetry_dir = telemetry_dir
+        self.heartbeat_interval_s = heartbeat_interval_s
         self._stop_requests = 0
+        self._checkpoints: List[Dict] = []
 
     # ------------------------------------------------------------------
     # stopping (SIGINT draining)
@@ -249,6 +299,7 @@ class Scheduler:
             "status": status,
             "counts": report.summary(),
             "failures": report.failures,
+            "checkpoints": self._checkpoints[-CHECKPOINT_LIMIT:],
             "git_rev": git_revision(),
             "specs": [spec.to_dict() for spec in specs],
         }
@@ -258,6 +309,50 @@ class Scheduler:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         os.replace(tmp, path)
+
+    def _load_checkpoints(self, cid: str) -> List[Dict]:
+        """Prior checkpoints from an existing journal, so a resumed
+        campaign's throughput history continues instead of resetting."""
+        try:
+            with open(self._journal_path(cid)) as handle:
+                journal = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return []
+        checkpoints = journal.get("checkpoints", [])
+        if not isinstance(checkpoints, list):
+            return []
+        return [entry for entry in checkpoints
+                if isinstance(entry, dict)]
+
+    def _checkpoint(self, report: CampaignReport) -> None:
+        """Append a (wall clock, cells stored) progress sample."""
+        self._checkpoints.append({
+            "wall_s": self.clock.wall(),
+            "stored": report.resumed + report.completed,
+        })
+
+    # ------------------------------------------------------------------
+    # live telemetry (the star-top feed)
+    # ------------------------------------------------------------------
+    def _parent_heartbeat(self):
+        """The scheduler's own heartbeat writer (or ``None``)."""
+        if self.telemetry_dir is None:
+            return None
+        from repro.obs.live import HeartbeatWriter
+
+        return HeartbeatWriter(
+            self.telemetry_dir, "scheduler", clock=self.clock,
+            interval_s=self.heartbeat_interval_s, stats=self.stats,
+        )
+
+    def _start(self, spec: RunSpec, slot: int):
+        """Launch one cell, passing worker telemetry when supported."""
+        if (self.telemetry_dir is not None
+                and getattr(self.runner, "supports_telemetry", False)):
+            telemetry = (str(self.telemetry_dir), "w%d" % slot)
+            return self.runner.start(spec, self.clock,
+                                     telemetry=telemetry)
+        return self.runner.start(spec, self.clock)
 
     # ------------------------------------------------------------------
     # the campaign loop
@@ -275,6 +370,8 @@ class Scheduler:
                                 total=len(specs))
         self.stats.add("lab.jobs.scheduled", len(specs))
         started_at = self.clock.now()
+        self._checkpoints = self._load_checkpoints(cid)
+        parent_beat = self._parent_heartbeat()
 
         provenance = {"git_rev": git_revision()}
         pending: List[_Job] = []
@@ -284,9 +381,14 @@ class Scheduler:
                 self.stats.add("lab.jobs.resumed")
             else:
                 pending.append(_Job(spec))
+        self._checkpoint(report)
         self._write_journal(cid, name, specs, "running", report)
+        if parent_beat is not None:
+            parent_beat.write(registry=self.stats.registry,
+                              progress=report.summary(), force=True)
 
-        running: List[Tuple[_Job, object]] = []
+        running: List[Tuple[_Job, object, int]] = []
+        free_slots = list(range(self.jobs - 1, -1, -1))
         launched = 0
         old_handler = self._install_sigint()
         try:
@@ -301,14 +403,15 @@ class Scheduler:
                     if job is None:
                         break
                     pending.remove(job)
+                    slot = free_slots.pop()
                     running.append(
-                        (job, self.runner.start(job.spec, self.clock))
+                        (job, self._start(job.spec, slot), slot)
                     )
                     launched += 1
                     progressed = True
 
                 # reap finished / overdue workers
-                for job, handle in list(running):
+                for job, handle, slot in list(running):
                     outcome = handle.poll()
                     now = self.clock.now()
                     if (outcome is None and self.timeout_s is not None
@@ -321,21 +424,27 @@ class Scheduler:
                         )
                     if outcome is None:
                         continue
-                    running.remove((job, handle))
+                    running.remove((job, handle, slot))
+                    free_slots.append(slot)
                     progressed = True
                     status, value = outcome
                     if status == "ok":
                         self._commit(job, value, provenance,
                                      now - handle.started, report)
+                        self._checkpoint(report)
                         self._write_journal(cid, name, specs,
                                             "running", report)
                     else:
                         self._retry_or_fail(job, str(value), pending,
                                             report)
 
+                if parent_beat is not None:
+                    parent_beat.write(registry=self.stats.registry,
+                                      progress=report.summary())
                 if self._stop_requests >= 2:
-                    for _job, handle in running:
+                    for _job, handle, slot in running:
                         handle.stop()
+                        free_slots.append(slot)
                     running.clear()
                 if self._stop_requests >= 1 and not running:
                     break
@@ -356,6 +465,9 @@ class Scheduler:
         self.stats.gauge_set(
             "lab.campaign.wall_s", self.clock.now() - started_at
         )
+        if parent_beat is not None:
+            parent_beat.write(registry=self.stats.registry,
+                              progress=report.summary(), force=True)
         return report
 
     # ------------------------------------------------------------------
@@ -433,3 +545,43 @@ def find_journal(store: ResultStore, id_prefix: str
         if journal["campaign_id"].startswith(id_prefix)
     ]
     return matches[0] if len(matches) == 1 else None
+
+
+def checkpoint_rates(journal: Dict, now_wall: Optional[float] = None,
+                     stale_after_s: float = 30.0
+                     ) -> Tuple[Optional[float], Optional[float], bool]:
+    """Derive (throughput cells/s, ETA seconds, stale?) from a
+    journal's checkpoint history.
+
+    Throughput comes from the first-to-last checkpoint delta (cells
+    stored per wall second). ETA extrapolates the remaining cell count
+    at that rate. ``stale`` is true for a *running* campaign whose last
+    checkpoint is older than ``stale_after_s`` — the scheduler
+    checkpoints after every commit, so silence means the process died
+    or hung. Either rate is ``None`` when the history can't support it
+    (fewer than two checkpoints, or no forward progress yet).
+    """
+    checkpoints = [
+        entry for entry in journal.get("checkpoints", [])
+        if isinstance(entry, dict)
+        and "wall_s" in entry and "stored" in entry
+    ]
+    stale = False
+    if (now_wall is not None and checkpoints
+            and journal.get("status") == "running"):
+        age = now_wall - float(checkpoints[-1]["wall_s"])
+        stale = age > stale_after_s
+    if len(checkpoints) < 2:
+        return None, None, stale
+    first, last = checkpoints[0], checkpoints[-1]
+    elapsed = float(last["wall_s"]) - float(first["wall_s"])
+    stored = int(last["stored"]) - int(first["stored"])
+    if elapsed <= 0 or stored <= 0:
+        return None, None, stale
+    throughput = stored / elapsed
+    counts = journal.get("counts", {})
+    remaining = counts.get("remaining")
+    eta = None
+    if isinstance(remaining, int) and remaining >= 0:
+        eta = remaining / throughput
+    return throughput, eta, stale

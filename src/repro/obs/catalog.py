@@ -63,6 +63,10 @@ METRICS: Dict[str, str] = {
     "lab.store.misses": "counter",
     "lab.store.puts": "counter",
     "lab.store.quarantined": "counter",
+    "live.heartbeats_written": "counter",
+    "live.snapshot_age_s": "gauge",
+    "live.workers": "gauge",
+    "live.workers_stale": "gauge",
     "meta_cache.hits": "counter",
     "meta_cache.misses": "counter",
     "nvm.data_lines_touched": "gauge",
@@ -78,6 +82,7 @@ METRICS: Dict[str, str] = {
     "nvm.st_slots_touched": "gauge",
     "nvm.st_writes": "counter",
     "phoenix.periodic_persists": "counter",
+    "profile.spans": "counter",
     "phoenix.probe_distance": "histogram",
     "phoenix.st_writes": "counter",
     "recovery.stale_batch": "histogram",

@@ -99,12 +99,28 @@ _SAMPLE = re.compile(
 _LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
+_ESCAPE_SEQUENCE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"\\": "\\", '"': '"', "n": "\n"}
+
+
 def _unescape_label_value(text: str) -> str:
-    return (
-        text.replace('\\"', '"')
-        .replace("\\n", "\n")
-        .replace("\\\\", "\\")
-    )
+    r"""Invert :func:`escape_label_value` with one left-to-right pass.
+
+    Sequential ``str.replace`` calls are *not* an inverse: the literal
+    two-character value ``\n`` (backslash, letter n) escapes to the
+    three characters ``\\n``, but a replace-``\n``-first pipeline finds
+    the trailing two characters and yields backslash + newline — the
+    backslash pair was consumed half-and-half by two different passes.
+    Scanning escape sequences left to right consumes each backslash
+    exactly once. Unknown escape sequences pass through verbatim,
+    matching the Prometheus text-format reference parsers.
+    """
+
+    def _one(match: "re.Match[str]") -> str:
+        char = match.group(1)
+        return _UNESCAPE_MAP.get(char, match.group(0))
+
+    return _ESCAPE_SEQUENCE.sub(_one, text)
 
 
 def parse_prometheus_text(

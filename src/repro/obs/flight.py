@@ -1,0 +1,71 @@
+"""The flight recorder: an always-on event-log tail for failures.
+
+Fuzz cases run on ``Machine(telemetry=False)`` — histograms, spans and
+events are all disabled so campaigns stay fast. That throws away
+exactly the evidence a failure investigation wants: the last few
+``force_flush`` / ``meta_evict`` / ``ra_spill`` / ``crash`` events
+before the oracle fired. The flight recorder re-arms *only* the
+ring-buffered event log on an otherwise dark machine (one deque append
+per event — the cheapest instrument in the registry) and extracts its
+tail when a case fails, so every failure-corpus record and minimized
+artifact ships with the events leading up to the verdict.
+
+Determinism contract: extracted events drop the wall-clock ``t`` field
+(sequence numbers carry causal order), so a case's ``events_tail`` is
+byte-identical whether the case ran serially or in a spawn-pool worker
+— the fuzzer's serial-vs-parallel identity tests keep holding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.util.stats import Stats
+
+TAIL_EVENTS = 64
+"""How many trailing events failure artifacts carry by default."""
+
+
+def arm_flight_recorder(stats: Stats) -> None:
+    """Enable just the event log on a telemetry-disabled ``Stats``.
+
+    ``Stats(enabled=False)`` rebinds ``stats.event`` to a no-op at
+    construction; arming flips the underlying :class:`EventLog` on and
+    rebinds ``stats.event`` to its ``emit``. Every component reads
+    ``stats.event`` per call (attribute lookup, not a captured
+    reference), so arming takes effect machine-wide immediately.
+    Histograms, spans and gauges stay disabled.
+    """
+    events = stats.registry.events
+    events.enabled = True
+    stats.event = events.emit  # type: ignore[method-assign]
+
+
+def strip_wall_clock(events: List[Dict]) -> List[Dict]:
+    """Drop the per-process ``t`` timestamp from extracted events."""
+    return [
+        {key: value for key, value in event.items() if key != "t"}
+        for event in events
+    ]
+
+
+def flight_tail(machine, limit: int = TAIL_EVENTS) -> List[Dict]:
+    """The last ``limit`` events across a machine's run + recovery logs.
+
+    Recovery events land in a separate registry
+    (:attr:`Machine.recovery_stats`); recovery happens after the run,
+    so its retained events are appended after the run log's and the
+    combined tail is taken. Each event is tagged with the ``phase`` it
+    came from.
+    """
+    combined: List[Dict] = []
+    for phase, stats in (("run", machine.stats),
+                         ("recovery", machine.recovery_stats)):
+        if stats is None:
+            continue
+        for event in strip_wall_clock(stats.registry.events.events()):
+            event["phase"] = phase
+            combined.append(event)
+    if limit <= 0:
+        return combined
+    return combined[-limit:]

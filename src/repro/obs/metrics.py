@@ -196,6 +196,29 @@ class Histogram:
             "buckets": [list(pair) for pair in self.bucket_counts()],
         }
 
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "Histogram":
+        """Rebuild a histogram from its :meth:`to_dict` snapshot.
+
+        Bucket upper bounds are exact powers of two, so the exponent
+        keys reconstruct losslessly; ``from_dict(to_dict())`` round-
+        trips. This is how cross-process heartbeat snapshots rehydrate
+        into a mergeable registry (:mod:`repro.obs.live`).
+        """
+        histogram = cls(name)
+        histogram.count = int(payload.get("count", 0))
+        histogram.total = float(payload.get("sum", 0.0))
+        histogram.min = payload.get("min")
+        histogram.max = payload.get("max")
+        for upper, count in payload.get("buckets", []):
+            if upper <= 0:
+                histogram._zero = int(count)
+            else:
+                exponent = bucket_exponent(float(upper))
+                assert exponent is not None
+                histogram._buckets[exponent] = int(count)
+        return histogram
+
     def __repr__(self) -> str:
         return "Histogram(%s, n=%d, mean=%.3g)" % (
             self.name, self.count, self.mean

@@ -1,0 +1,250 @@
+"""The simulator phase profiler: deterministic spans, Chrome traces.
+
+``Machine(profile=True)`` installs a :class:`PhaseProfiler` that wraps
+the simulator's phase boundaries — the controller write/read paths,
+tree verify (node fetch) and update (persist cascades), WPQ drain
+barriers, ADR/bitmap maintenance, and recovery — exactly the way the
+write sanitizers wrap the write paths: closures around the original
+bound methods, installed only when asked for, so the default hot path
+stays untouched and the perf gate is unaffected.
+
+Timestamps are the crux. The profiler's primary clock is the
+**op counter** — cumulative NVM line accesses (reads + writes) sampled
+from the machine's traffic counters — which is a pure function of the
+workload, so two same-seed runs emit bit-identical traces and traces
+can be diffed in CI. Wall-clock time is *optional* and flows only
+through the sanctioned :class:`repro.lab.clock.Clock` seam (STAR003);
+when a clock is supplied its readings land in each event's ``args``,
+never in ``ts``/``dur``, so the trace skeleton stays deterministic.
+
+Export targets:
+
+* :meth:`PhaseProfiler.to_chrome_trace` — Chrome trace-event JSON
+  (complete ``"ph": "X"`` events), loadable in Perfetto / chrome
+  tracing; ``ts``/``dur`` are op counts presented as microseconds,
+* :meth:`PhaseProfiler.aggregate` — per-phase totals (count, ops, NVM
+  reads/writes) behind ``star-stats --trace``'s table.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import wraps
+from typing import Dict, List, Optional
+
+PHASE_CAPACITY = 100_000
+"""Recorded-span cap; beyond it spans are counted but dropped."""
+
+
+class PhaseProfiler:
+    """Wraps one machine's phase boundaries with dual-timestamp spans."""
+
+    def __init__(self, machine, clock=None,
+                 capacity: int = PHASE_CAPACITY) -> None:
+        self.machine = machine
+        self.clock = clock
+        self.capacity = capacity
+        self.spans: List[Dict] = []
+        self.dropped = 0
+        self._depth = 0
+        self._base = 0
+        self._wrapped_schemes: set = set()
+        self.install()
+
+    # ------------------------------------------------------------------
+    # the deterministic op clock
+    # ------------------------------------------------------------------
+    def _raw(self) -> int:
+        nvm = self.machine.nvm
+        return nvm.total_reads() + nvm.total_writes()
+
+    def _sample(self) -> int:
+        """Cumulative NVM accesses, continuous across registry swaps."""
+        return self._base + self._raw()
+
+    # ------------------------------------------------------------------
+    # wiring (the sanitizer pattern: wrap bound methods in place)
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        machine = self.machine
+        controller = machine.controller
+        self._wrap(controller, "write_data", "ctrl.write_data")
+        self._wrap(controller, "read_data", "ctrl.read_data")
+        self._wrap(controller, "_get_node", "tree.verify")
+        self._wrap(controller, "_persist_node", "tree.update")
+        self._wrap(machine.timing, "persist_barrier", "wpq.drain")
+        self._wrap_recover()
+        self.rewire_scheme()
+
+    def rewire_scheme(self) -> None:
+        """(Re-)wrap scheme-owned structures after ``scheme.attach``.
+
+        Recovery re-attaches the scheme, which rebuilds STAR's bitmap
+        manager (and its ADR region), so the machine calls this again
+        after every :meth:`Machine.recover` — same contract as
+        :meth:`repro.sim.sanitize.Sanitizer.rewire_scheme`.
+        """
+        bitmap = getattr(self.machine.scheme, "bitmap", None)
+        if bitmap is None or id(bitmap) in self._wrapped_schemes:
+            return
+        self._wrapped_schemes.add(id(bitmap))
+        self._wrap(bitmap, "mark_stale", "bitmap.maintain")
+        self._wrap(bitmap, "mark_fresh", "bitmap.maintain")
+        # AdrRegion is __slots__-ed; wrap the manager's line-load front
+        # door (register or ADR, spilling to the RA) instead
+        self._wrap(bitmap, "_load", "adr.load")
+
+    def _wrap(self, obj, name: str, phase: str) -> None:
+        inner = getattr(obj, name)
+
+        @wraps(inner)
+        def timed(*args, **kwargs):
+            start = self._sample()
+            wall0 = None if self.clock is None else self.clock.now()
+            self._depth += 1
+            try:
+                return inner(*args, **kwargs)
+            finally:
+                self._depth -= 1
+                self._record(phase, start, self._sample(), wall0)
+
+        setattr(obj, name, timed)
+
+    def _wrap_recover(self) -> None:
+        """Recovery traffic lands in a *fresh* registry, so the generic
+        start/end sampling would see the run counters freeze. Re-base
+        the op clock onto the recovery registry for the duration, then
+        fold the recovery traffic back in so the clock stays monotonic
+        on machines that keep running after a recover."""
+        machine = self.machine
+        inner = machine.recover
+
+        @wraps(inner)
+        def timed_recover(*args, **kwargs):
+            start = self._sample()
+            wall0 = None if self.clock is None else self.clock.now()
+            previous = machine.recovery_stats
+            self._base = start  # recovery registry counts from zero
+            self._depth += 1
+            try:
+                return inner(*args, **kwargs)
+            finally:
+                self._depth -= 1
+                delta = 0
+                recovery = machine.recovery_stats
+                if recovery is not None and recovery is not previous:
+                    registry = recovery.registry
+                    delta = sum(
+                        value
+                        for name, value in registry.counters()
+                        if name.startswith("nvm.")
+                        and (name.endswith("_reads")
+                             or name.endswith("_writes"))
+                    )
+                # run counters did not move during recovery; re-base so
+                # sample() == start + delta from here on
+                self._base = start + delta - self._raw()
+                self._record("recovery", start, start + delta, wall0)
+                self.rewire_scheme()
+
+        machine.recover = timed_recover
+
+    # ------------------------------------------------------------------
+    # recording / export
+    # ------------------------------------------------------------------
+    def _record(self, phase: str, start: int, end: int,
+                wall0: Optional[float]) -> None:
+        stats = self.machine.stats
+        stats.add("profile.spans")
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return
+        span = {
+            "name": phase,
+            "ts": start,
+            "dur": max(0, end - start),
+            "depth": self._depth,
+        }
+        if wall0 is not None:
+            span["wall_ms"] = (self.clock.now() - wall0) * 1000.0
+        self.spans.append(span)
+
+    def to_chrome_trace(self) -> Dict:
+        """Chrome trace-event JSON (Perfetto-loadable).
+
+        ``ts``/``dur`` carry the deterministic op counter (presented in
+        the format's microsecond unit); optional wall-clock durations
+        ride in ``args`` so the skeleton is bit-identical across
+        same-seed runs. Events are sorted by ``(ts, -dur)`` so parents
+        precede their children at equal start points.
+        """
+        events = []
+        for span in sorted(self.spans,
+                           key=lambda s: (s["ts"], -s["dur"],
+                                          s["depth"])):
+            args: Dict = {"ops": span["dur"]}
+            if "wall_ms" in span:
+                args["wall_ms"] = round(span["wall_ms"], 6)
+            events.append({
+                "name": span["name"],
+                "cat": "sim",
+                "ph": "X",
+                "ts": span["ts"],
+                "dur": span["dur"],
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "nvm-op-counter",
+                "dropped": self.dropped,
+            },
+        }
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1,
+                      sort_keys=True)
+            handle.write("\n")
+
+    def aggregate(self) -> Dict[str, Dict]:
+        """Per-phase totals: span count and op-counter volume.
+
+        Nested spans are *inclusive* (a ``tree.update`` inside
+        ``ctrl.write_data`` counts its ops toward both), matching how
+        flame views read.
+        """
+        table: Dict[str, Dict] = {}
+        for span in self.spans:
+            row = table.setdefault(
+                span["name"],
+                {"count": 0, "ops": 0, "wall_ms": 0.0},
+            )
+            row["count"] += 1
+            row["ops"] += span["dur"]
+            row["wall_ms"] += span.get("wall_ms", 0.0)
+        return {name: table[name] for name in sorted(table)}
+
+
+def render_phase_table(aggregate: Dict[str, Dict]) -> str:
+    """A fixed-width per-phase table for ``star-stats --trace``."""
+    if not aggregate:
+        return "(no phases recorded)"
+    width = max(len(name) for name in aggregate)
+    lines = ["%-*s %10s %12s %12s"
+             % (width, "phase", "count", "ops", "wall_ms")]
+    for name, row in aggregate.items():
+        lines.append(
+            "%-*s %10d %12d %12.3f"
+            % (width, name, row["count"], row["ops"], row["wall_ms"])
+        )
+    return "\n".join(lines)
+
+
+def install_profiler(machine, clock=None,
+                     capacity: int = PHASE_CAPACITY) -> PhaseProfiler:
+    """Attach a :class:`PhaseProfiler` to ``machine`` and return it."""
+    return PhaseProfiler(machine, clock=clock, capacity=capacity)

@@ -40,13 +40,16 @@ class Machine:
                  registers: Optional[OnChipRegisters] = None,
                  nvm: Optional[NVM] = None,
                  telemetry: bool = True,
-                 sanitize: bool = False) -> None:
+                 sanitize: bool = False,
+                 profile: bool = False) -> None:
         """``registers`` and ``nvm`` allow booting a machine on state
         that survived a crash (the reboot-after-recovery scenario).
         ``telemetry=False`` turns off histograms/spans/events (counters
         always count) for overhead-sensitive sweeps. ``sanitize=True``
         installs the runtime write sanitizers (``repro.sim.sanitize``);
-        off by default, so hot paths stay unwrapped."""
+        ``profile=True`` installs the deterministic phase profiler
+        (``repro.obs.profile``); both off by default, so hot paths
+        stay unwrapped."""
         self.config = config
         self.stats = Stats(enabled=telemetry)
         self.recovery_stats: Optional[Stats] = None
@@ -90,6 +93,12 @@ class Machine:
             from repro.sim.sanitize import install_sanitizers
 
             self.sanitizer = install_sanitizers(self)
+        self.profiler = None
+        if profile:
+            # same opt-in wrap-on-install pattern as the sanitizer
+            from repro.obs.profile import install_profiler
+
+            self.profiler = install_profiler(self)
 
     # ==================================================================
     # running traces
@@ -227,6 +236,13 @@ class Machine:
         if not self.crashed:
             raise RecoveryError("recover called without a crash")
         recovery_stats = Stats(enabled=self.stats.enabled)
+        run_events = self.stats.registry.events
+        if run_events.enabled and not recovery_stats.enabled:
+            # the flight recorder armed the event log on an otherwise
+            # dark machine; keep recording through recovery
+            from repro.obs.flight import arm_flight_recorder
+
+            arm_flight_recorder(recovery_stats)
         # keep the run's JSONL trail complete: recovery events stream
         # into the same sink (the run log still owns and closes it)
         run_sink = self.stats.registry.events.sink

@@ -69,7 +69,11 @@ class Sanitizer:
         def checked_write_node_image(node_id, addr, cached,
                                      parent_counter):
             inner(node_id, addr, cached, parent_counter)
-            self._check_synergized_lsbs(addr, parent_counter)
+            try:
+                self._check_synergized_lsbs(addr, parent_counter)
+            except SanitizeError as error:
+                self._trip(error)
+                raise
 
         controller._write_node_image = checked_write_node_image
         self.rewire_scheme()
@@ -86,7 +90,11 @@ class Sanitizer:
 
         @wraps(inner)
         def checked_store(layer, line, value):
-            self._check_bitmap_word(bitmap, layer, line, value)
+            try:
+                self._check_bitmap_word(bitmap, layer, line, value)
+            except SanitizeError as error:
+                self._trip(error)
+                raise
             inner(layer, line, value)
 
         bitmap._store = checked_store
@@ -96,10 +104,25 @@ class Sanitizer:
 
         @wraps(inner)
         def checked(*args):
-            checker(*args)
+            try:
+                checker(*args)
+            except SanitizeError as error:
+                self._trip(error)
+                raise
             return inner(*args)
 
         setattr(obj, name, checked)
+
+    def _trip(self, error: SanitizeError) -> None:
+        """Leave a flight-recorder event before the trip propagates.
+
+        The fuzzer attaches the event-log tail to failure artifacts, so
+        a sanitizer trip should be the last event in that tail — the
+        message is deterministic, keeping serial-vs-parallel campaign
+        results byte-identical.
+        """
+        stats = self.machine.stats
+        stats.event("sanitize_trip", detail=str(error))
 
     # ------------------------------------------------------------------
     # the checks

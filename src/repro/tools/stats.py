@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--events", metavar="PATH", default=None,
                         help="stream the event log to PATH as JSONL "
                              "while the run executes")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="profile the run's simulator phases and "
+                             "write Chrome trace-event JSON (load in "
+                             "Perfetto / chrome://tracing); also "
+                             "prints the per-phase aggregate table")
     return parser
 
 
@@ -76,7 +81,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         memory_bytes=args.memory_mb * 1024 ** 2,
         metadata_cache_bytes=args.cache_kb * 1024,
     )
-    machine = Machine(config, scheme=args.scheme)
+    machine = Machine(config, scheme=args.scheme,
+                      profile=bool(args.trace))
     if args.events:
         machine.stats.registry.events.open_sink(args.events)
     workload = make_workload(
@@ -130,6 +136,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("wrote %s" % args.prom)
     if args.events:
         print("wrote %s" % args.events)
+    if args.trace:
+        from repro.obs.profile import render_phase_table
+
+        machine.profiler.write_chrome_trace(args.trace)
+        print()
+        print(render_phase_table(machine.profiler.aggregate()))
+        print("wrote %s" % args.trace)
     return 0
 
 

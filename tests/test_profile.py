@@ -1,0 +1,232 @@
+"""Tests for the phase profiler and the failure flight recorder.
+
+The profiler's acceptance bar is determinism: its primary clock is the
+NVM op counter, so two same-seed runs must export bit-identical Chrome
+traces, recovery's registry swap must not freeze or rewind the clock,
+and wall-clock readings (opt-in, via the Clock seam) may only ever ride
+in ``args``. The flight recorder's bar is that failing fuzz cases ship
+a deterministic event tail end-to-end: case result -> corpus record ->
+minimized artifact.
+"""
+
+import json
+
+from repro.config import small_config
+from repro.fuzz.executor import run_case
+from repro.fuzz.minimize import minimize_failure, write_artifacts
+from repro.fuzz.sampling import CampaignSpec, sample_cases
+from repro.lab.clock import FakeClock
+from repro.obs.flight import (
+    arm_flight_recorder,
+    flight_tail,
+    strip_wall_clock,
+)
+from repro.obs.profile import install_profiler, render_phase_table
+from repro.sim.machine import Machine
+from repro.util.stats import Stats
+from repro.workloads.registry import make_workload
+
+EXPECTED_PHASES = {"ctrl.write_data", "tree.verify", "tree.update",
+                   "wpq.drain", "recovery"}
+
+
+def profiled_run(operations=60, seed=5, clock=None, crash=True):
+    config = small_config()
+    machine = Machine(config, scheme="star", profile=clock is None)
+    if clock is not None:
+        machine.profiler = install_profiler(machine, clock=clock)
+    workload = make_workload("hash", config.num_data_lines,
+                             operations=operations, seed=seed)
+    machine.run(workload.ops())
+    if crash:
+        machine.crash()
+        machine.recover()
+    return machine
+
+
+# ----------------------------------------------------------------------
+# phase profiler
+# ----------------------------------------------------------------------
+class TestPhaseProfiler:
+    def test_records_the_instrumented_phases(self):
+        machine = profiled_run()
+        names = {span["name"] for span in machine.profiler.spans}
+        assert EXPECTED_PHASES <= names
+
+    def test_trace_is_bit_identical_across_same_seed_runs(self):
+        first = profiled_run().profiler.to_chrome_trace()
+        second = profiled_run().profiler.to_chrome_trace()
+        assert (json.dumps(first, sort_keys=True)
+                == json.dumps(second, sort_keys=True))
+
+    def test_chrome_trace_schema(self):
+        trace = profiled_run().profiler.to_chrome_trace()
+        assert trace["otherData"]["clock"] == "nvm-op-counter"
+        assert trace["otherData"]["dropped"] == 0
+        assert trace["traceEvents"]
+        for event in trace["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["cat"] == "sim"
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 0
+            assert event["args"]["ops"] == event["dur"]
+            assert "wall_ms" not in event["args"]
+
+    def test_trace_events_sorted_by_start(self):
+        trace = profiled_run().profiler.to_chrome_trace()
+        starts = [event["ts"] for event in trace["traceEvents"]]
+        assert starts == sorted(starts)
+
+    def test_op_clock_survives_recovery_registry_swap(self):
+        machine = profiled_run()
+        recovery = [span for span in machine.profiler.spans
+                    if span["name"] == "recovery"]
+        assert len(recovery) == 1
+        assert recovery[0]["dur"] > 0
+        # the machine keeps running after recovery: the clock must not
+        # rewind below the recovery span's end
+        end = recovery[0]["ts"] + recovery[0]["dur"]
+        config = machine.config
+        machine.run(make_workload("hash", config.num_data_lines,
+                                  operations=10, seed=1).ops())
+        later = [span for span in machine.profiler.spans
+                 if span["ts"] >= end and span["name"] != "recovery"]
+        assert later, "no spans recorded after recovery"
+        assert all(span["ts"] >= end for span in
+                   machine.profiler.spans[-len(later):])
+
+    def test_wall_clock_rides_in_args_only(self):
+        clock = FakeClock()
+        deterministic = profiled_run().profiler.to_chrome_trace()
+        clocked = profiled_run(clock=clock).profiler.to_chrome_trace()
+        skeleton = [
+            {key: event[key] for key in ("name", "ts", "dur")}
+            for event in clocked["traceEvents"]
+        ]
+        reference = [
+            {key: event[key] for key in ("name", "ts", "dur")}
+            for event in deterministic["traceEvents"]
+        ]
+        assert skeleton == reference
+        assert all("wall_ms" in event["args"]
+                   for event in clocked["traceEvents"])
+
+    def test_capacity_drops_are_counted(self):
+        config = small_config()
+        machine = Machine(config, scheme="star")
+        machine.profiler = install_profiler(machine, capacity=10)
+        machine.run(make_workload("hash", config.num_data_lines,
+                                  operations=40, seed=2).ops())
+        profiler = machine.profiler
+        assert len(profiler.spans) == 10
+        assert profiler.dropped > 0
+        assert profiler.to_chrome_trace()["otherData"]["dropped"] > 0
+        assert (machine.stats.get("profile.spans")
+                == len(profiler.spans) + profiler.dropped)
+
+    def test_write_chrome_trace_is_loadable(self, tmp_path):
+        machine = profiled_run()
+        path = tmp_path / "trace.json"
+        machine.profiler.write_chrome_trace(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(
+            json.dumps(machine.profiler.to_chrome_trace())
+        )
+
+    def test_aggregate_and_table(self):
+        machine = profiled_run()
+        aggregate = machine.profiler.aggregate()
+        assert EXPECTED_PHASES <= set(aggregate)
+        for row in aggregate.values():
+            assert row["count"] > 0 and row["ops"] >= 0
+        table = render_phase_table(aggregate)
+        for name in EXPECTED_PHASES:
+            assert name in table
+        assert render_phase_table({}) == "(no phases recorded)"
+
+    def test_default_machine_has_no_profiler(self):
+        machine = Machine(small_config(), scheme="star")
+        assert machine.profiler is None
+
+
+# ----------------------------------------------------------------------
+# flight recorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_arming_enables_only_the_event_log(self):
+        stats = Stats(enabled=False)
+        arm_flight_recorder(stats)
+        stats.event("force_flush", line=3)
+        stats.observe("wpq.occupancy", 5)
+        events = stats.registry.events.events()
+        assert [event["kind"] for event in events] == ["force_flush"]
+        assert dict(stats.registry.histograms()) == {}
+
+    def test_strip_wall_clock_drops_t(self):
+        events = [{"seq": 0, "kind": "crash", "t": 1.25}]
+        assert strip_wall_clock(events) == [{"seq": 0, "kind": "crash"}]
+
+    def test_flight_tail_tags_and_limits(self):
+        config = small_config()
+        machine = Machine(config, scheme="star", telemetry=False)
+        arm_flight_recorder(machine.stats)
+        machine.run(make_workload("hash", config.num_data_lines,
+                                  operations=40, seed=4).ops())
+        machine.crash()
+        machine.recover()
+        tail = flight_tail(machine)
+        assert tail
+        assert all("t" not in event for event in tail)
+        phases = {event["phase"] for event in tail}
+        assert "recovery" in phases
+        assert len(flight_tail(machine, limit=2)) == 2
+
+    def test_failing_case_ships_events_tail_end_to_end(self, tmp_path):
+        spec = CampaignSpec(cases=8, seed=1, schemes=["star"],
+                            workloads=["hash"], min_operations=20,
+                            max_operations=40, attack_rate=1.0,
+                            defect="skip-root-verify")
+        spec.validate()
+        failing = next(
+            result
+            for result in (run_case(case, defect=spec.defect)
+                           for case in sample_cases(spec))
+            if result.failed
+        )
+        assert failing.events_tail
+        assert all("t" not in event for event in failing.events_tail)
+        # survives the corpus dict round-trip
+        clone = type(failing).from_dict(failing.to_dict())
+        assert clone.events_tail == failing.events_tail
+        # and lands in the minimized artifact metadata
+        minimized = minimize_failure(failing.case, defect=spec.defect,
+                                     max_runs=30)
+        assert minimized is not None and minimized.events_tail
+        _trace, meta_path = write_artifacts(minimized, tmp_path)
+        meta = json.loads(meta_path.read_text())
+        assert meta["events_tail"] == minimized.events_tail
+
+    def test_passing_case_has_empty_tail(self):
+        spec = CampaignSpec(cases=4, seed=2, schemes=["star"],
+                            workloads=["hash"], min_operations=10,
+                            max_operations=20, attack_rate=0.0)
+        spec.validate()
+        for case in sample_cases(spec):
+            result = run_case(case)
+            assert not result.failed
+            assert result.events_tail == []
+
+    def test_sanitizer_trip_is_the_last_event(self):
+        import pytest
+
+        from repro.sim.sanitize import SanitizeError
+
+        config = small_config()
+        machine = Machine(config, scheme="star", telemetry=False,
+                          sanitize=True)
+        arm_flight_recorder(machine.stats)
+        with pytest.raises(SanitizeError):
+            machine.nvm.write_data(0, object())
+        tail = flight_tail(machine)
+        assert tail[-1]["kind"] == "sanitize_trip"
+        assert "DataLineImage" in tail[-1]["detail"]
