@@ -13,14 +13,21 @@ cache-hitting campaigns:
   journaled checkpoints (``star-lab resume``),
 * :mod:`repro.lab.gridfile` — grid files re-expressing the paper's
   sweeps (Figs. 10-14, Table II) as campaigns,
+* :mod:`repro.lab.lease` / :mod:`repro.lab.farm` — the distributed
+  campaign farm: a SQLite lease board with fencing tokens, a
+  :class:`Coordinator` (``star-lab serve``) and work-stealing
+  :class:`Worker` pools (``star-lab work``) whose merged stores
+  export byte-identically to a serial run,
 * :mod:`repro.lab.bridge` — :class:`LabCache`, the read-through cache
   ``star-bench --lab DIR`` serves figures from,
-* :mod:`repro.lab.cli` — the ``star-lab run|status|resume|export|gc``
-  command line.
+* :mod:`repro.lab.cli` — the ``star-lab
+  run|status|resume|export|gc|serve|work|merge`` command line.
 """
 
 from repro.lab.bridge import LabCache
-from repro.lab.clock import Clock, FakeClock
+from repro.lab.clock import BackoffPolicy, Clock, FakeClock
+from repro.lab.farm import Coordinator, Worker
+from repro.lab.lease import Lease, LeaseBoard
 from repro.lab.executor import execute, payload_to_run_result
 from repro.lab.gridfile import (
     BUILTIN_GRIDS,
@@ -42,16 +49,21 @@ from repro.lab.store import ResultRecord, ResultStore, StoreError
 
 __all__ = [
     "BUILTIN_GRIDS",
+    "BackoffPolicy",
     "CampaignReport",
     "Clock",
+    "Coordinator",
     "FakeClock",
     "LabCache",
+    "Lease",
+    "LeaseBoard",
     "ResultRecord",
     "ResultStore",
     "RunSpec",
     "SCHEMA_VERSION",
     "Scheduler",
     "StoreError",
+    "Worker",
     "bench_spec",
     "campaign_id",
     "canonical_config",

@@ -16,14 +16,22 @@ Examples::
     # drop cells no longer referenced by the given grids
     star-lab gc --store .starlab --grid table2 --grid fig14b
 
+    # distributed farm: a coordinator seeds the lease board and
+    # merges worker stores; any number of work-stealing worker
+    # pools (same host or a shared filesystem) chew through it
+    star-lab serve --grid table2 --store .starlab --farm .starlab/farm
+    star-lab work --farm .starlab/farm --jobs 4      # repeat per host
+    star-lab merge --store .starlab --farm .starlab/farm
+
 Exit codes: 0 campaign complete, 1 cells failed permanently,
-3 campaign interrupted (resume to continue).
+3 campaign interrupted (resume / re-serve to continue).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -31,7 +39,8 @@ from typing import Dict, List, Optional
 from repro.bench.tables import ExperimentTable, render_table
 from repro.errors import ReproError
 from repro.lab import gridfile
-from repro.lab.clock import Clock
+from repro.lab.clock import BACKOFF_POLICIES, BackoffPolicy, Clock
+from repro.lab.farm import Coordinator, Worker
 from repro.lab.scheduler import (
     CampaignReport,
     Scheduler,
@@ -77,9 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-cell timeout (needs --jobs > 1)")
     run.add_argument("--retries", type=int, default=2,
                      help="retry budget per cell (default 2)")
-    run.add_argument("--backoff", type=float, default=0.5,
-                     metavar="SECONDS",
-                     help="retry backoff base (linear; default 0.5)")
+    _add_backoff(run)
     run.add_argument("--max-cells", type=int, default=None,
                      help="compute at most N cells this invocation "
                           "(controlled interruption; resume later)")
@@ -110,7 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--jobs", type=int, default=1)
     resume.add_argument("--timeout", type=float, default=None)
     resume.add_argument("--retries", type=int, default=2)
-    resume.add_argument("--backoff", type=float, default=0.5)
+    _add_backoff(resume)
     resume.add_argument("--max-cells", type=int, default=None)
     _add_telemetry(resume)
     resume.add_argument("--quiet", action="store_true")
@@ -135,7 +142,102 @@ def build_parser() -> argparse.ArgumentParser:
                          "is dropped (omit to only clean orphans)")
     gc.add_argument("--purge-quarantine", action="store_true",
                     help="also delete quarantined corrupt files")
+
+    serve = commands.add_parser(
+        "serve", help="coordinate a farm campaign: seed the lease "
+                      "board, watch workers, merge their stores"
+    )
+    add_store(serve)
+    serve.add_argument("--grid", action="append", required=True,
+                       metavar="NAME|PATH",
+                       help="grids to expand onto the lease board; "
+                            "repeatable")
+    serve.add_argument("--farm", default=None, metavar="DIR",
+                       help="shared farm directory "
+                            "(default: <store>/farm)")
+    serve.add_argument("--lease", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="lease duration workers must renew within "
+                            "(default 60)")
+    serve.add_argument("--poll", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="board poll interval (default 0.5)")
+    serve.add_argument("--max-wall", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop serving after this long (campaign "
+                            "stays resumable; re-serve to continue)")
+    serve.add_argument("--heartbeat-interval", type=float, default=1.0,
+                       metavar="SECONDS")
+    serve.add_argument("--quiet", action="store_true")
+
+    work = commands.add_parser(
+        "work", help="run one work-stealing worker pool against a "
+                     "farm directory"
+    )
+    work.add_argument("--farm", required=True, metavar="DIR",
+                      help="the coordinator's shared farm directory")
+    work.add_argument("--id", default=None, metavar="NAME",
+                      help="worker id (default: w<pid>; must be "
+                           "unique per farm)")
+    work.add_argument("--jobs", type=int, default=1,
+                      help="execution shards within this pool")
+    work.add_argument("--batch", type=int, default=None,
+                      help="leases claimed per round (default: --jobs)")
+    work.add_argument("--timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-cell timeout (needs --jobs > 1)")
+    work.add_argument("--retries", type=int, default=2,
+                      help="in-pool retry budget per cell (default 2)")
+    _add_backoff(work)
+    work.add_argument("--lease", type=float, default=60.0,
+                      metavar="SECONDS",
+                      help="lease duration to claim for (default 60; "
+                           "must cover a cell + renewal slack)")
+    work.add_argument("--max-attempts", type=int, default=3,
+                      help="cross-worker attempts before a cell is "
+                           "failed terminally (default 3)")
+    work.add_argument("--poll", type=float, default=0.2,
+                      metavar="SECONDS",
+                      help="idle claim poll floor (default 0.2)")
+    work.add_argument("--wait", type=float, default=30.0,
+                      metavar="SECONDS",
+                      help="how long to wait for the lease board to "
+                           "appear (default 30)")
+    work.add_argument("--heartbeat-interval", type=float, default=1.0,
+                      metavar="SECONDS")
+    work.add_argument("--quiet", action="store_true")
+
+    merge = commands.add_parser(
+        "merge", help="import a farm's worker stores into the "
+                      "authoritative store (no serving)"
+    )
+    add_store(merge)
+    merge.add_argument("--farm", default=None, metavar="DIR",
+                       help="farm directory (default: <store>/farm)")
     return parser
+
+
+def _add_backoff(sub) -> None:
+    sub.add_argument("--backoff", type=float, default=0.5,
+                     metavar="SECONDS",
+                     help="retry backoff base (default 0.5)")
+    sub.add_argument("--backoff-policy", choices=BACKOFF_POLICIES,
+                     default="linear",
+                     help="retry delay schedule: linear waits "
+                          "base*attempt, exponential doubles from "
+                          "base (default linear)")
+    sub.add_argument("--backoff-cap", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="ceiling on any single retry delay "
+                          "(default 30)")
+
+
+def _backoff_policy(args) -> BackoffPolicy:
+    return BackoffPolicy(
+        getattr(args, "backoff_policy", "linear"),
+        base_s=getattr(args, "backoff", 0.5),
+        cap_s=getattr(args, "backoff_cap", 30.0),
+    )
 
 
 def _add_telemetry(sub) -> None:
@@ -193,8 +295,8 @@ def _run_specs(args, specs: List[RunSpec], name: str) -> int:
                          else Path(args.telemetry))
     scheduler = Scheduler(
         store, jobs=args.jobs, timeout_s=args.timeout,
-        retries=args.retries, backoff_s=args.backoff, stats=stats,
-        telemetry_dir=telemetry_dir,
+        retries=args.retries, backoff=_backoff_policy(args),
+        stats=stats, telemetry_dir=telemetry_dir,
         heartbeat_interval_s=getattr(args, "heartbeat_interval", 1.0),
     )
     report = scheduler.run(specs, name=name,
@@ -324,6 +426,72 @@ def _cmd_gc(args) -> int:
     return EXIT_OK
 
 
+# ----------------------------------------------------------------------
+# farm: serve / work / merge
+# ----------------------------------------------------------------------
+def _farm_dir(args) -> Path:
+    if getattr(args, "farm", None):
+        return Path(args.farm)
+    return Path(args.store) / "farm"
+
+
+def _cmd_serve(args) -> int:
+    specs = gridfile.resolve_specs(args.grid)
+    name = "+".join(
+        gridfile.load_grid(grid).get("name", str(grid))
+        for grid in args.grid
+    )
+    stats = Stats(enabled=True)
+    store = ResultStore(args.store, stats=stats)
+    coordinator = Coordinator(
+        store, _farm_dir(args), stats=stats, lease_s=args.lease,
+        poll_interval_s=args.poll,
+        heartbeat_interval_s=args.heartbeat_interval,
+    )
+    try:
+        report = coordinator.run(specs, name=name,
+                                 max_wall_s=args.max_wall)
+    finally:
+        coordinator.close()
+    if not args.quiet:
+        print(render_table(_report_table(report, stats)))
+    if report.failed:
+        return EXIT_FAILURES
+    if report.interrupted:
+        return EXIT_INTERRUPTED
+    return EXIT_OK
+
+
+def _cmd_work(args) -> int:
+    worker_id = args.id if args.id else "w%d" % os.getpid()
+    worker = Worker(
+        args.farm, worker_id, jobs=args.jobs, batch=args.batch,
+        lease_s=args.lease, timeout_s=args.timeout,
+        retries=args.retries, backoff=_backoff_policy(args),
+        max_attempts=args.max_attempts, poll_interval_s=args.poll,
+        heartbeat_interval_s=args.heartbeat_interval,
+        wait_s=args.wait,
+    )
+    summary = worker.run()
+    if not args.quiet:
+        print("star-lab work %(worker)s: %(done)d done, "
+              "%(failed)d failed, %(stolen)d stolen over "
+              "%(batches)d batches" % summary)
+    return EXIT_FAILURES if summary["failed"] else EXIT_OK
+
+
+def _cmd_merge(args) -> int:
+    stats = Stats(enabled=True)
+    store = ResultStore(args.store, stats=stats)
+    coordinator = Coordinator(store, _farm_dir(args), stats=stats)
+    try:
+        merged = coordinator.merge()
+    finally:
+        coordinator.close()
+    print("merged %d new records into %s" % (merged, args.store))
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -332,6 +500,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _cmd_status,
         "export": _cmd_export,
         "gc": _cmd_gc,
+        "serve": _cmd_serve,
+        "work": _cmd_work,
+        "merge": _cmd_merge,
     }
     try:
         return handlers[args.command](args)

@@ -13,7 +13,11 @@ single place the lab package touches real time:
 * :class:`Clock` — the production clock (monotonic ``perf_counter`` and
   a real ``sleep``),
 * :class:`FakeClock` — a manually-advanced test double whose ``sleep``
-  returns instantly, so timeout/backoff tests run in microseconds.
+  returns instantly, so timeout/backoff tests run in microseconds,
+* :class:`BackoffPolicy` — the pure delay schedule (linear or capped
+  exponential) that every retry wait in the lab derives from. The
+  policy only *computes* delays; waiting them out always goes through
+  a ``Clock`` instance, so FakeClock tests stay deterministic.
 
 Everything else in ``repro.lab`` receives a clock instance; nothing
 else may import :mod:`time`.
@@ -22,6 +26,47 @@ else may import :mod:`time`.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+BACKOFF_POLICIES = ("linear", "exponential")
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """A retry delay schedule: attempt number in, seconds out.
+
+    ``linear`` waits ``base_s * attempt`` (the scheduler's historical
+    behaviour); ``exponential`` waits ``base_s * 2**(attempt-1)``.
+    Both are capped at ``cap_s`` so a long retry chain cannot grow an
+    unbounded sleep. Shared by :class:`~repro.lab.scheduler.Scheduler`
+    retries and the farm workers' lease re-claim pacing
+    (:mod:`repro.lab.farm`).
+    """
+
+    policy: str = "linear"
+    base_s: float = 0.5
+    cap_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in BACKOFF_POLICIES:
+            raise ConfigError(
+                "unknown backoff policy %r (choose from %s)"
+                % (self.policy, ", ".join(BACKOFF_POLICIES))
+            )
+        if self.base_s < 0 or self.cap_s < 0:
+            raise ConfigError("backoff base/cap must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt <= 0:
+            return 0.0
+        if self.policy == "exponential":
+            raw = self.base_s * (2.0 ** (attempt - 1))
+        else:
+            raw = self.base_s * attempt
+        return min(raw, self.cap_s)
 
 
 class Clock:

@@ -12,8 +12,10 @@ a scheduling property.
 Robustness machinery:
 
 * per-job timeout — a stuck worker is terminated and the cell retried,
-* bounded retry with linear backoff (through the injectable
-  :class:`~repro.lab.clock.Clock`, so tests use ``FakeClock``),
+* bounded retry under a configurable :class:`~repro.lab.clock
+  .BackoffPolicy` (linear or capped exponential, waited out through
+  the injectable :class:`~repro.lab.clock.Clock`, so tests use
+  ``FakeClock``),
 * graceful SIGINT draining — the first Ctrl-C stops launching and lets
   in-flight cells finish and commit; the second kills them,
 * a campaign journal under ``<store>/campaigns/<id>.json`` checkpointed
@@ -38,7 +40,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.lab.clock import Clock
+from repro.lab.clock import BackoffPolicy, Clock
 from repro.lab.executor import execute
 from repro.lab.gridfile import campaign_id
 from repro.lab.spec import RunSpec, canonical_json
@@ -83,9 +85,14 @@ def _worker_main(conn, spec_dict: Dict, telemetry=None) -> None:
                                    "label": spec.label,
                                    "spec": spec.spec_hash}, force=True)
         conn.send(("ok", payload))
+    except BrokenPipeError:
+        pass  # parent killed mid-job; the lease system re-runs the cell
     except BaseException:
-        conn.send(("error",
-                   traceback.format_exc(limit=6).strip()))
+        try:
+            conn.send(("error",
+                       traceback.format_exc(limit=6).strip()))
+        except BrokenPipeError:
+            pass
     finally:
         conn.close()
 
@@ -235,6 +242,7 @@ class Scheduler:
     def __init__(self, store: ResultStore, jobs: int = 1,
                  timeout_s: Optional[float] = None, retries: int = 2,
                  backoff_s: float = 0.5,
+                 backoff: Optional[BackoffPolicy] = None,
                  clock: Optional[Clock] = None,
                  stats: Optional[Stats] = None,
                  poll_interval_s: float = 0.02,
@@ -245,7 +253,9 @@ class Scheduler:
         self.jobs = max(1, jobs)
         self.timeout_s = timeout_s
         self.retries = max(0, retries)
-        self.backoff_s = backoff_s
+        # ``backoff_s`` is the legacy linear knob; a full policy wins
+        self.backoff = (backoff if backoff is not None
+                        else BackoffPolicy("linear", base_s=backoff_s))
         self.clock = clock if clock is not None else Clock()
         self.stats = stats if stats is not None else store.stats
         self.poll_interval_s = poll_interval_s
@@ -293,22 +303,8 @@ class Scheduler:
     def _write_journal(self, cid: str, name: str,
                        specs: List[RunSpec], status: str,
                        report: CampaignReport) -> None:
-        payload = {
-            "campaign_id": cid,
-            "name": name,
-            "status": status,
-            "counts": report.summary(),
-            "failures": report.failures,
-            "checkpoints": self._checkpoints[-CHECKPOINT_LIMIT:],
-            "git_rev": git_revision(),
-            "specs": [spec.to_dict() for spec in specs],
-        }
-        path = self._journal_path(cid)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+        write_journal(self.store, cid, name, specs, status, report,
+                      self._checkpoints)
 
     def _load_checkpoints(self, cid: str) -> List[Dict]:
         """Prior checkpoints from an existing journal, so a resumed
@@ -497,7 +493,7 @@ class Scheduler:
         if job.attempts <= self.retries:
             self.stats.add("lab.jobs.retried")
             job.not_before = (
-                self.clock.now() + self.backoff_s * job.attempts
+                self.clock.now() + self.backoff.delay(job.attempts)
             )
             pending.append(job)
             return
@@ -514,6 +510,38 @@ class Scheduler:
 def _short_digest(config_payload: Dict) -> str:
     encoded = canonical_json(config_payload).encode("ascii")
     return hashlib.sha256(encoded).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# journal writer (shared with the farm coordinator)
+# ----------------------------------------------------------------------
+def write_journal(store: ResultStore, cid: str, name: str,
+                  specs: List[RunSpec], status: str,
+                  report: CampaignReport,
+                  checkpoints: List[Dict]) -> None:
+    """Atomically publish one campaign journal under the store.
+
+    The journal is the single checkpoint format every progress reader
+    (``star-lab status``/``resume``, ``star-top``) consumes, whether it
+    was written by a local :class:`Scheduler` or by a farm
+    :class:`~repro.lab.farm.Coordinator`.
+    """
+    payload = {
+        "campaign_id": cid,
+        "name": name,
+        "status": status,
+        "counts": report.summary(),
+        "failures": report.failures,
+        "checkpoints": checkpoints[-CHECKPOINT_LIMIT:],
+        "git_rev": git_revision(),
+        "specs": [spec.to_dict() for spec in specs],
+    }
+    path = store.campaigns_path / (cid + ".json")
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
 
 
 # ----------------------------------------------------------------------

@@ -389,6 +389,35 @@ class ResultStore:
             entries.append(record.export_entry())
         return entries
 
+    def import_from(self, source: "ResultStore",
+                    spec_hashes: Optional[List[str]] = None) -> int:
+        """Copy records this store is missing from another store.
+
+        The deterministic half of the farm merge path: records are
+        pulled in spec-hash order, already-present hashes are skipped,
+        and each imported record keeps its original payload and
+        provenance. Because a payload is a pure function of its spec,
+        two stores that computed the same cell independently hold
+        byte-identical payloads — so merging N worker stores in any
+        order converges on the same :meth:`export`. Returns how many
+        records were imported.
+        """
+        wanted = None if spec_hashes is None else set(spec_hashes)
+        imported = 0
+        for spec_hash in source.hashes():
+            if wanted is not None and spec_hash not in wanted:
+                continue
+            if spec_hash in self:
+                continue
+            record = source._load(spec_hash)
+            if record is None:
+                continue
+            self.put(RunSpec.from_dict(record.spec), record.payload,
+                     provenance=record.provenance,
+                     wall_time_s=record.wall_time_s)
+            imported += 1
+        return imported
+
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------

@@ -1,13 +1,16 @@
 """STAR003: simulation paths must be deterministic.
 
 Fuzz campaigns (PR 2) replay cases bit-identically across processes,
-the perf gate (PR 3) compares committed scores, and the lab store
-(PR 6) content-addresses results by spec, so anything under
-``repro/sim``, ``repro/core``, ``repro/fuzz`` or ``repro/lab`` must
-not consult global randomness or wall clocks, and must not let set
-iteration order leak into traces. The lab's single sanctioned
-wall-clock seam is ``repro/lab/clock.py`` (file-level pragma); all
-other lab timing goes through an injected ``Clock``. Flagged:
+the perf gate (PR 3) compares committed scores, the lab store
+(PR 6) content-addresses results by spec, and the farm (PR 7) merges
+worker stores assuming spec-pure payloads, so anything under
+``repro/sim``, ``repro/core``, ``repro/fuzz`` or ``repro/lab``
+(including ``lab/farm.py`` and ``lab/lease.py``) must not consult
+global randomness or wall clocks, and must not let set iteration
+order leak into traces. The lab's single sanctioned wall-clock seam
+is ``repro/lab/clock.py`` (file-level pragma); all other lab timing —
+scheduler timeouts, lease deadlines, heartbeats — goes through an
+injected ``Clock``. Flagged:
 
 * calls through the module-level ``random.*`` API (seeded
   ``random.Random(...)`` instances stay allowed — that is how workloads

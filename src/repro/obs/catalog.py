@@ -52,6 +52,20 @@ METRICS: Dict[str, str] = {
     "fuzz.tamper_applied": "counter",
     "fuzz.violations": "counter",
     "lab.campaign.wall_s": "gauge",
+    "lab.farm.cells": "gauge",
+    "lab.farm.cells_done": "counter",
+    "lab.farm.cells_failed": "counter",
+    "lab.farm.cells_requeued": "counter",
+    "lab.farm.done": "gauge",
+    "lab.farm.failed": "gauge",
+    "lab.farm.lease_renewals": "counter",
+    "lab.farm.leased": "gauge",
+    "lab.farm.leases_claimed": "counter",
+    "lab.farm.leases_stolen": "counter",
+    "lab.farm.merged_records": "counter",
+    "lab.farm.pending": "gauge",
+    "lab.farm.stale_fences": "counter",
+    "lab.farm.wall_s": "gauge",
     "lab.job.wall_ms": "histogram",
     "lab.jobs.completed": "counter",
     "lab.jobs.failed": "counter",
@@ -63,6 +77,7 @@ METRICS: Dict[str, str] = {
     "lab.store.misses": "counter",
     "lab.store.puts": "counter",
     "lab.store.quarantined": "counter",
+    "live.heartbeats_corrupt": "gauge",
     "live.heartbeats_written": "counter",
     "live.snapshot_age_s": "gauge",
     "live.workers": "gauge",

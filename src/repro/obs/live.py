@@ -11,11 +11,13 @@ This module is the live plane underneath ``star-top``:
   directory. Publication is atomic (write temp file, ``os.replace``),
   so a reader never sees a torn snapshot, and a crashed worker simply
   stops refreshing its file.
-* :func:`read_heartbeats` / :func:`aggregate_heartbeats` — the
+* :func:`scan_heartbeats` / :func:`aggregate_heartbeats` — the
   parent-side reader: collect every worker's latest snapshot, rebuild
   each shipped registry (:func:`registry_from_snapshot`), merge them
   into one campaign-wide :class:`~repro.obs.metrics.MetricRegistry`,
-  and flag workers whose snapshot has gone stale.
+  flag workers whose snapshot has gone stale, and count files a dead
+  worker left zero-byte or half-written (``live.heartbeats_corrupt``)
+  instead of silently skipping them.
 
 Timestamps use epoch seconds through the sanctioned
 :class:`repro.lab.clock.Clock` seam (``clock.wall()``) because
@@ -31,7 +33,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import Histogram, MetricRegistry
 from repro.util.stats import Stats
@@ -137,39 +139,70 @@ class HeartbeatWriter:
         return True
 
 
-def read_heartbeats(directory) -> List[Dict]:
-    """Every worker's latest snapshot, sorted by worker name.
+def scan_heartbeats(directory) -> Tuple[List[Dict], int]:
+    """Every worker's latest snapshot, plus a damaged-file count.
 
-    Corrupt or half-written files are skipped, not fatal: a reader
-    racing a writer's very first publication (or scanning a directory
-    on a crashed filesystem) must degrade to "worker unknown", never
-    take the dashboard down.
+    Publication is atomic per file, but a worker can die at any
+    instant: SIGKILL between creating its temp file and ``os.replace``
+    leaves a zero-byte or half-line ``.jsonl`` behind on some
+    filesystems, and a torn final write leaves a heartbeat line
+    followed by a truncated metrics line. None of that may take the
+    dashboard down — but it must not be *silent* either (a farm whose
+    telemetry is rotting looks identical to a healthy idle farm
+    otherwise). Damaged files therefore count into the second return
+    value, which :func:`aggregate_heartbeats` surfaces as the
+    ``live.heartbeats_corrupt`` gauge. A file whose heartbeat line
+    survived still contributes its snapshot (liveness is best-effort)
+    while counting as damaged.
     """
     directory = Path(directory)
     if not directory.is_dir():
-        return []
-    snapshots = []
+        return [], 0
+    snapshots: List[Dict] = []
+    corrupt = 0
     for path in sorted(directory.glob("*.jsonl")):
-        heartbeat: Optional[Dict] = None
-        metrics: Optional[Dict] = None
         try:
             with open(path) as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    record = json.loads(line)
-                    if record.get("type") == "heartbeat":
-                        heartbeat = record
-                    elif record.get("type") == "metrics":
-                        metrics = record.get("metrics")
-        except (OSError, json.JSONDecodeError, AttributeError):
+                content = handle.read()
+        except OSError:
+            corrupt += 1
             continue
+        if not content.strip():
+            corrupt += 1  # zero-byte: died mid-publication
+            continue
+        heartbeat: Optional[Dict] = None
+        metrics: Optional[Dict] = None
+        damaged = False
+        for line in content.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                damaged = True  # half-written trailing line
+                break
+            if not isinstance(record, dict):
+                damaged = True
+                break
+            if record.get("type") == "heartbeat":
+                heartbeat = record
+            elif record.get("type") == "metrics":
+                metrics = record.get("metrics")
         if heartbeat is None:
+            corrupt += 1
             continue
+        if damaged:
+            corrupt += 1
         heartbeat["metrics"] = metrics
         snapshots.append(heartbeat)
-    return snapshots
+    return snapshots, corrupt
+
+
+def read_heartbeats(directory) -> List[Dict]:
+    """Every worker's readable snapshot (compatibility shim over
+    :func:`scan_heartbeats` for callers that don't track damage)."""
+    return scan_heartbeats(directory)[0]
 
 
 @dataclass
@@ -190,6 +223,7 @@ class LiveAggregate:
 
     registry: MetricRegistry
     workers: List[WorkerView]
+    corrupt: int = 0
 
     @property
     def stale_workers(self) -> List[WorkerView]:
@@ -209,7 +243,8 @@ def aggregate_heartbeats(directory, now_wall: float,
     registry = MetricRegistry(enabled=True)
     workers: List[WorkerView] = []
     max_age = 0.0
-    for snapshot in read_heartbeats(directory):
+    snapshots, corrupt = scan_heartbeats(directory)
+    for snapshot in snapshots:
         age = max(0.0, now_wall - float(snapshot.get("wall_s", 0.0)))
         max_age = max(max_age, age)
         workers.append(WorkerView(
@@ -226,4 +261,6 @@ def aggregate_heartbeats(directory, now_wall: float,
     registry.gauge("live.workers").set(float(len(workers)))
     registry.gauge("live.workers_stale").set(float(stale))
     registry.gauge("live.snapshot_age_s").set(max_age)
-    return LiveAggregate(registry=registry, workers=workers)
+    registry.gauge("live.heartbeats_corrupt").set(float(corrupt))
+    return LiveAggregate(registry=registry, workers=workers,
+                         corrupt=corrupt)

@@ -14,6 +14,9 @@ Examples::
     # watch a fuzzing campaign
     star-top --telemetry /tmp/fuzz-telemetry
 
+    # watch a farm: coordinator + every worker pool's heartbeats
+    star-top --farm .starlab/farm --store .starlab
+
     # one-shot snapshot (scripts, CI)
     star-top --store .starlab --once
 
@@ -53,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "journals are read for totals/ETA")
     parser.add_argument("--telemetry", default=None, metavar="DIR",
                         help="telemetry directory (overrides --store)")
+    parser.add_argument("--farm", default=None, metavar="DIR",
+                        help="star-lab farm directory; watches "
+                             "<farm>/telemetry (coordinator plus "
+                             "every worker pool)")
     parser.add_argument("--campaign", default=None, metavar="IDPREFIX",
                         help="journal to track (default: the running "
                              "one, else the newest)")
@@ -115,6 +122,7 @@ def build_status(telemetry_dir, store_path=None,
         "throughput_cps": None,
         "eta_s": None,
         "stale": False,
+        "corrupt_heartbeats": aggregate.corrupt,
         "workers": [
             {
                 "worker": view.worker,
@@ -194,14 +202,22 @@ def render_dashboard(status: Dict) -> str:
         ("cases", "fuzz.cases"),
         ("failures", "fuzz.failures"),
         ("beats", "live.heartbeats_written"),
+        ("claimed", "lab.farm.leases_claimed"),
+        ("stolen", "lab.farm.leases_stolen"),
+        ("farm_done", "lab.farm.cells_done"),
+        ("farm_failed", "lab.farm.cells_failed"),
+        ("merged", "lab.farm.merged_records"),
     ]
     cells = ["%s %d" % (label, counters[name])
              for label, name in interesting if name in counters]
     if cells:
         lines.append("counters: " + "  ".join(cells))
-    lines.append("workers (%d, %d stale):"
+    corrupt = status.get("corrupt_heartbeats", 0)
+    lines.append("workers (%d, %d stale%s):"
                  % (len(status["workers"]),
-                    sum(1 for w in status["workers"] if w["stale"])))
+                    sum(1 for w in status["workers"] if w["stale"]),
+                    (", %d corrupt heartbeats" % corrupt)
+                    if corrupt else ""))
     for worker in status["workers"]:
         progress = worker.get("progress") or {}
         detail = " ".join(
@@ -270,6 +286,8 @@ def serve(port: int, snapshot) -> ThreadingHTTPServer:
 def _resolve_telemetry(args) -> Optional[Path]:
     if args.telemetry is not None:
         return Path(args.telemetry)
+    if getattr(args, "farm", None) is not None:
+        return Path(args.farm) / "telemetry"
     if args.store is not None:
         return Path(args.store) / "telemetry"
     return None

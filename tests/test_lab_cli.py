@@ -1,4 +1,5 @@
-"""star-lab CLI: run / status / resume / export / gc, in process."""
+"""star-lab CLI: run / status / resume / export / gc / farm verbs,
+in process."""
 
 import json
 
@@ -97,6 +98,94 @@ class TestInterruptResumeExport:
                        "--hash-prefix", hashes[0][:16]) == 0
         entries = json.loads(capsys.readouterr().out)
         assert [entry["spec_hash"] for entry in entries] == [hashes[0]]
+
+
+class TestFarmVerbs:
+    def test_serve_work_serve_matches_serial_export(
+            self, grid_path, tmp_path, capsys):
+        """The whole farm protocol with no threads: an interrupted
+        serve seeds the board, a worker drains it, a second serve
+        re-adopts the campaign, merges and completes."""
+        serial = str(tmp_path / "serial")
+        run_cli("run", "--grid", grid_path, "--store", serial)
+        store_dir = str(tmp_path / "farmed")
+        farm_dir = str(tmp_path / "farmed/farm")
+
+        # seed + journal, then stop immediately (exit 3: resumable)
+        assert run_cli("serve", "--grid", grid_path,
+                       "--store", store_dir, "--farm", farm_dir,
+                       "--max-wall", "0", "--quiet") == 3
+
+        assert run_cli("work", "--farm", farm_dir, "--id", "w1",
+                       "--wait", "5") == 0
+        assert "2 done" in capsys.readouterr().out
+
+        # the restarted coordinator re-adopts the board and merges
+        assert run_cli("serve", "--grid", grid_path,
+                       "--store", store_dir, "--farm", farm_dir,
+                       "--max-wall", "60") == 0
+        assert "remaining" in capsys.readouterr().out
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        run_cli("export", "--store", serial, "-o", str(a))
+        run_cli("export", "--store", store_dir, "-o", str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_work_without_a_board_is_an_error(self, tmp_path, capsys):
+        assert run_cli("work", "--farm", str(tmp_path / "nope"),
+                       "--id", "w1", "--wait", "0", "--poll",
+                       "0.01") == 2
+        assert "lease board" in capsys.readouterr().err
+
+    def test_merge_verb_imports_worker_stores(
+            self, grid_path, tmp_path, capsys):
+        store_dir = str(tmp_path / "farmed")
+        farm_dir = str(tmp_path / "farmed/farm")
+        run_cli("serve", "--grid", grid_path, "--store", store_dir,
+                "--farm", farm_dir, "--max-wall", "0", "--quiet")
+        run_cli("work", "--farm", farm_dir, "--id", "w1",
+                "--wait", "5", "--quiet")
+        capsys.readouterr()
+        assert run_cli("merge", "--store", store_dir,
+                       "--farm", farm_dir) == 0
+        assert "merged 2 new records" in capsys.readouterr().out
+        assert len(ResultStore(store_dir)) == 2
+
+    def test_farm_progress_shows_in_star_top(
+            self, grid_path, tmp_path, capsys):
+        from repro.obs.top import main as top_main
+
+        store_dir = str(tmp_path / "farmed")
+        farm_dir = str(tmp_path / "farmed/farm")
+        run_cli("serve", "--grid", grid_path, "--store", store_dir,
+                "--farm", farm_dir, "--max-wall", "0", "--quiet")
+        run_cli("work", "--farm", farm_dir, "--id", "w1",
+                "--wait", "5", "--quiet")
+        run_cli("serve", "--grid", grid_path, "--store", store_dir,
+                "--farm", farm_dir, "--max-wall", "60", "--quiet")
+        capsys.readouterr()
+        assert top_main(["--farm", farm_dir, "--store", store_dir,
+                         "--once"]) == 0
+        output = capsys.readouterr().out
+        assert "w1" in output and "coordinator" in output
+        assert "claimed 2" in output
+
+
+class TestBackoffFlags:
+    def test_run_accepts_backoff_policy_flags(
+            self, grid_path, tmp_path):
+        assert run_cli("run", "--grid", grid_path,
+                       "--store", str(tmp_path / "lab"),
+                       "--backoff-policy", "exponential",
+                       "--backoff", "0.1", "--backoff-cap", "2.0",
+                       "--quiet") == 0
+
+    def test_unknown_backoff_policy_is_rejected(
+            self, grid_path, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli("run", "--grid", grid_path,
+                    "--store", str(tmp_path / "lab"),
+                    "--backoff-policy", "fibonacci")
 
 
 class TestGc:

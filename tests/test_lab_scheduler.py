@@ -8,8 +8,11 @@ The equivalence tests execute real (tiny) cells.
 
 import json
 
+import pytest
+
 from repro.bench.runner import config_for_scale
-from repro.lab.clock import FakeClock
+from repro.errors import ConfigError
+from repro.lab.clock import BackoffPolicy, FakeClock
 from repro.lab.scheduler import Scheduler, find_journal, read_journals
 from repro.lab.spec import bench_spec
 from repro.lab.store import ResultStore
@@ -62,6 +65,28 @@ class FakeRunner:
         return handle
 
 
+class TestBackoffPolicy:
+    def test_linear_delays_grow_by_base(self):
+        policy = BackoffPolicy("linear", base_s=2.0)
+        assert [policy.delay(n) for n in (0, 1, 2, 3)] == \
+            [0.0, 2.0, 4.0, 6.0]
+
+    def test_exponential_delays_double_and_cap(self):
+        policy = BackoffPolicy("exponential", base_s=1.0, cap_s=5.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4, 10)] == \
+            [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_linear_delays_cap_too(self):
+        policy = BackoffPolicy("linear", base_s=10.0, cap_s=15.0)
+        assert policy.delay(2) == 15.0
+
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(ConfigError):
+            BackoffPolicy("fibonacci")
+        with pytest.raises(ConfigError):
+            BackoffPolicy("linear", base_s=-1.0)
+
+
 class TestFailurePaths:
     def _run(self, script, specs, **kwargs):
         stats = Stats(enabled=True)
@@ -88,6 +113,19 @@ class TestFailurePaths:
         assert (runner.handles[1].started
                 - runner.handles[0].started) >= 5.0
         assert scheduler.store.get(spec).payload == payload
+
+    def test_exponential_backoff_doubles_the_retry_gaps(self, tmp_path):
+        spec = real_specs(count=1)[0]
+        report, _stats, _clock, scheduler = self._run(
+            {spec.spec_hash: [("error", "a"), ("error", "b"),
+                              ("ok", {"version": 1})]},
+            [spec], root=tmp_path / "lab", retries=2,
+            backoff=BackoffPolicy("exponential", base_s=4.0),
+        )
+        assert report.completed == 1
+        starts = [handle.started for handle in scheduler.runner.handles]
+        assert starts[1] - starts[0] >= 4.0
+        assert starts[2] - starts[1] >= 8.0  # second retry doubled
 
     def test_hung_worker_times_out_and_is_retried(self, tmp_path):
         spec = real_specs(count=1)[0]

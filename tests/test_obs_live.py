@@ -36,6 +36,7 @@ from repro.obs.live import (
     read_heartbeats,
     registry_from_snapshot,
     registry_snapshot,
+    scan_heartbeats,
 )
 from repro.obs.metrics import MetricRegistry
 from repro.obs.top import build_status, render_dashboard, serve
@@ -135,6 +136,67 @@ class TestHeartbeatWriter:
 
     def test_missing_directory_reads_empty(self, tmp_path):
         assert read_heartbeats(tmp_path / "nope") == []
+        assert scan_heartbeats(tmp_path / "nope") == ([], 0)
+
+
+class TestCorruptHeartbeats:
+    """A worker dying mid-``os.replace`` must be *counted*, not just
+    skipped: zero-byte files, half-written lines and truncated metrics
+    records all surface through ``scan_heartbeats``'s damage count and
+    the ``live.heartbeats_corrupt`` gauge."""
+
+    def _good(self, tmp_path, name="good"):
+        HeartbeatWriter(tmp_path, name, clock=FakeClock(start=5.0),
+                        interval_s=0.0).write()
+
+    def test_zero_byte_file_counts_corrupt(self, tmp_path):
+        self._good(tmp_path)
+        (tmp_path / "dead.jsonl").write_text("")
+        snapshots, corrupt = scan_heartbeats(tmp_path)
+        assert [s["worker"] for s in snapshots] == ["good"]
+        assert corrupt == 1
+
+    def test_half_line_file_counts_corrupt(self, tmp_path):
+        self._good(tmp_path)
+        # a heartbeat record cut off mid-write
+        (tmp_path / "dead.jsonl").write_text(
+            '{"type": "heartbeat", "worker": "dea')
+        snapshots, corrupt = scan_heartbeats(tmp_path)
+        assert [s["worker"] for s in snapshots] == ["good"]
+        assert corrupt == 1
+
+    def test_truncated_metrics_keeps_the_heartbeat(self, tmp_path):
+        """The liveness line survived the crash; count the damage but
+        keep the worker visible."""
+        (tmp_path / "torn.jsonl").write_text(
+            json.dumps({"type": "heartbeat", "worker": "torn",
+                        "seq": 3, "wall_s": 9.0, "progress": {}})
+            + '\n{"type": "metrics", "metrics": {"coun')
+        snapshots, corrupt = scan_heartbeats(tmp_path)
+        assert [s["worker"] for s in snapshots] == ["torn"]
+        assert snapshots[0]["metrics"] is None
+        assert corrupt == 1
+
+    def test_non_object_line_counts_corrupt(self, tmp_path):
+        (tmp_path / "weird.jsonl").write_text("[1, 2, 3]\n")
+        assert scan_heartbeats(tmp_path) == ([], 1)
+
+    def test_aggregate_surfaces_the_corrupt_gauge(self, tmp_path):
+        self._good(tmp_path)
+        (tmp_path / "dead.jsonl").write_text("")
+        (tmp_path / "torn.jsonl").write_text('{"type": "hear')
+        aggregate = aggregate_heartbeats(tmp_path, now_wall=5.0)
+        assert aggregate.corrupt == 2
+        gauges = {n: g for n, g in aggregate.registry.gauges()}
+        assert gauges["live.heartbeats_corrupt"].value == 2.0
+        assert gauges["live.workers"].value == 1.0
+
+    def test_clean_directory_reports_zero_corrupt(self, tmp_path):
+        self._good(tmp_path)
+        aggregate = aggregate_heartbeats(tmp_path, now_wall=5.0)
+        assert aggregate.corrupt == 0
+        gauges = {n: g for n, g in aggregate.registry.gauges()}
+        assert gauges["live.heartbeats_corrupt"].value == 0.0
 
 
 # ----------------------------------------------------------------------
