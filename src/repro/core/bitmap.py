@@ -21,7 +21,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.core.index import MultiLayerIndex
 from repro.mem.adr import AdrRegion
 from repro.mem.nvm import NVM
-from repro.util.bitfield import clear_bit, iter_set_bits, set_bit, test_bit
+from repro.util.bitfield import iter_set_bits, test_bit
 from repro.util.stats import Stats
 
 
@@ -35,6 +35,14 @@ class BitmapLineManager:
         self._registers = registers
         self.stats = stats if stats is not None else nvm.stats
         self.adr = AdrRegion(adr_capacity, nvm, stats=self.stats)
+        # the update walk runs on every dirty-state transition of a
+        # cached metadata line; pin the geometry and the per-layer
+        # counter names here instead of re-deriving them per call
+        self._fanout = index.fanout
+        self._top_layer = index.top_layer
+        self._total = index.total_meta_lines
+        self._update_names = ["bitmap.line_updates.l%d" % layer
+                              for layer in range(index.top_layer + 1)]
 
     # ------------------------------------------------------------------
     # the two runtime events (Section III-C)
@@ -42,34 +50,61 @@ class BitmapLineManager:
     def mark_stale(self, meta_line: int) -> None:
         """A cached metadata line went clean -> dirty."""
         self.stats.add("bitmap.mark_stale")
-        line, bit = self.index.l1_position(meta_line)
-        self._update_bit(1, line, bit, True)
+        if not 0 <= meta_line < self._total:
+            raise ValueError("metadata line %d out of range" % meta_line)
+        fanout = self._fanout
+        line = meta_line // fanout
+        self._update_bit(1, line, meta_line - line * fanout, True)
 
     def mark_fresh(self, meta_line: int) -> None:
         """A dirty metadata line was persisted (dirty -> clean)."""
         self.stats.add("bitmap.mark_fresh")
-        line, bit = self.index.l1_position(meta_line)
-        self._update_bit(1, line, bit, False)
+        if not 0 <= meta_line < self._total:
+            raise ValueError("metadata line %d out of range" % meta_line)
+        fanout = self._fanout
+        line = meta_line // fanout
+        self._update_bit(1, line, meta_line - line * fanout, False)
 
     def _update_bit(self, layer: int, line: int, bit: int,
                     value: bool) -> None:
-        word = self._load(layer, line)
-        new_word = set_bit(word, bit) if value else clear_bit(word, bit)
-        if new_word == word:
+        # iterative bottom-up walk; the recursion this replaces spent
+        # more time on call frames, property lookups and name
+        # formatting than on the bit math
+        registers = self._registers
+        adr_load = self.adr.load
+        adr_store = self.adr.store
+        stats_add = self.stats.add
+        names = self._update_names
+        fanout = self._fanout
+        top = self._top_layer
+        while True:
+            if layer == top:
+                word = registers.index_top_line
+                new_word = (word | (1 << bit)) if value \
+                    else (word & ~(1 << bit))
+                if new_word == word:
+                    return
+                stats_add(names[layer])
+                registers.index_top_line = new_word
+                return
+            key = (layer, line)
+            word = adr_load(key)
+            new_word = (word | (1 << bit)) if value \
+                else (word & ~(1 << bit))
+            if new_word == word:
+                return
+            stats_add(names[layer])
+            adr_store(key, new_word)
+            # propagate zero/non-zero transitions into the layer above:
+            # setting a bit makes the parent bit 1 only when this word
+            # was all-zero; clearing one makes it 0 only when the word
+            # just became all-zero
+            if (word == 0) if value else (new_word == 0):
+                layer += 1
+                bit = line % fanout
+                line = line // fanout
+                continue
             return
-        self.stats.add("bitmap.line_updates.l%d" % layer)
-        self._store(layer, line, new_word)
-        # propagate zero/non-zero transitions into the layer above
-        if layer < self.index.top_layer:
-            became_nonzero = word == 0 and new_word != 0
-            became_zero = word != 0 and new_word == 0
-            if became_nonzero or became_zero:
-                parent_line, parent_bit = self.index.parent_position(
-                    layer, line
-                )
-                self._update_bit(
-                    layer + 1, parent_line, parent_bit, became_nonzero
-                )
 
     # ------------------------------------------------------------------
     # line storage: on-chip register for the top layer, ADR otherwise
@@ -104,6 +139,13 @@ class BitmapLineManager:
 
     def hit_ratio(self) -> float:
         return self.adr.hit_ratio()
+
+    def line_update_counts(self) -> List[int]:
+        """Update-walk writes per layer, bottom (layer 1) first."""
+        return [
+            self.stats.get("bitmap.line_updates.l%d" % layer)
+            for layer in range(1, self._top_layer + 1)
+        ]
 
 
 def iter_stale_lines(index: MultiLayerIndex, nvm: NVM,

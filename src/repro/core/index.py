@@ -31,15 +31,12 @@ class MultiLayerIndex:
         self.layer_counts: List[int] = index_layer_counts(
             total_meta_lines, fanout
         )
-
-    @property
-    def num_layers(self) -> int:
-        return len(self.layer_counts)
-
-    @property
-    def top_layer(self) -> int:
+        # plain attributes, not properties: the bitmap manager reads
+        # these on every update-walk step, and the geometry is immutable
+        # after construction
+        self.num_layers: int = len(self.layer_counts)
+        self.top_layer: int = self.num_layers
         """The layer held on-chip (1-based, equals ``num_layers``)."""
-        return self.num_layers
 
     def lines_in_layer(self, layer: int) -> int:
         self._check_layer(layer)

@@ -96,3 +96,76 @@ def hash_bytes(key: bytes, nbytes: int, *parts: HashPart) -> bytes:
     return hashlib.blake2b(
         _serialize(parts), key=key, digest_size=nbytes
     ).digest()
+
+
+# ----------------------------------------------------------------------
+# hot-path helpers: same bytes, same digests, less interpreter work
+# ----------------------------------------------------------------------
+# Keying BLAKE2b pads the key into the first compression block, so
+# constructing hashlib.blake2b(key=...) per message re-does that work
+# every call. A prototype object absorbs the key once; .copy() restores
+# the keyed state for ~a third of the construction cost. Identical
+# digests by construction (the message argument is just a first
+# update()), pinned by tests/test_hashing.py.
+
+class KeyedBlake2b:
+    """A reusable keyed-BLAKE2b instance: pay for the key once."""
+
+    __slots__ = ("_proto",)
+
+    def __init__(self, key: bytes, digest_size: int) -> None:
+        self._proto = hashlib.blake2b(key=key, digest_size=digest_size)
+
+    def digest(self, message: bytes) -> bytes:
+        state = self._proto.copy()
+        state.update(message)
+        return state.digest()
+
+
+# Serialized int parts are dominated by values < 256 (levels, slots,
+# LSBs, young counters); precompute their full tag+length+body encoding.
+_INT_PART_MEMO = tuple(
+    _INT_TAG + b"\x00\x00\x00\x01" + bytes((value,))
+    for value in range(256)
+)
+
+# Wider values (node indices, grown counters) recur heavily too — every
+# MAC over a metadata node re-encodes the same indices. Memoize them in
+# a bounded dict; the population is capped by the geometry (node
+# indices) plus the live counter values, so the limit is rarely hit.
+_WIDE_PART_MEMO: dict = {}
+_WIDE_PART_LIMIT = 1 << 17
+
+
+def encode_int_part(value: int) -> bytes:
+    """The canonical serialization of one non-negative int part.
+
+    Byte-identical to what :func:`_serialize` emits for the same value
+    (pinned by tests), but callable piecewise so hot paths can assemble
+    known-shape messages without the generic dispatch loop.
+    """
+    if 0 <= value < 256:
+        return _INT_PART_MEMO[value]
+    if value < 0:
+        raise ValueError("hash inputs must be non-negative ints")
+    encoded = _WIDE_PART_MEMO.get(value)
+    if encoded is None:
+        size = (value.bit_length() + 7) // 8
+        encoded = (
+            _INT_TAG + size.to_bytes(4, "big") + value.to_bytes(size, "big")
+        )
+        if len(_WIDE_PART_MEMO) >= _WIDE_PART_LIMIT:
+            _WIDE_PART_MEMO.clear()
+        _WIDE_PART_MEMO[value] = encoded
+    return encoded
+
+
+def encode_str_part(value: str) -> bytes:
+    """Canonical serialization of one str part (for message prefixes)."""
+    body = value.encode("utf-8")
+    return _STR_TAG + len(body).to_bytes(4, "big") + body
+
+
+def encode_bytes_part(value: bytes) -> bytes:
+    """Canonical serialization of one bytes part."""
+    return _BYTES_TAG + len(value).to_bytes(4, "big") + value

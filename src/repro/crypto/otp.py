@@ -16,7 +16,17 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.config import LINE_SIZE
-from repro.crypto.hashing import hash_bytes
+from repro.crypto.hashing import (
+    KeyedBlake2b,
+    encode_int_part,
+    encode_str_part,
+    hash_bytes,
+)
+
+# the serialized "otp" domain tag and the block-0 suffix never change;
+# byte-identical to routing them through hash_bytes (pinned by tests)
+_OTP_PREFIX = encode_str_part("otp")
+_BLOCK0_SUFFIX = encode_int_part(0)
 
 
 class CounterModeEngine:
@@ -33,7 +43,7 @@ class CounterModeEngine:
 
     _PAD_CACHE_LIMIT = 4096
 
-    __slots__ = ("_key", "_line_size", "_pad_cache")
+    __slots__ = ("_key", "_line_size", "_pad_cache", "_prf")
 
     def __init__(self, key: bytes, line_size: int = LINE_SIZE) -> None:
         if not key:
@@ -41,6 +51,7 @@ class CounterModeEngine:
         self._key = key
         self._line_size = line_size
         self._pad_cache: Dict[Tuple[int, int], bytes] = {}
+        self._prf = KeyedBlake2b(key, digest_size=64)
 
     @property
     def line_size(self) -> int:
@@ -61,7 +72,12 @@ class CounterModeEngine:
         # keystream blocks are always 64-byte digests (then truncated)
         # so pads are bit-identical across line sizes' common prefix
         if self._line_size == 64:
-            return hash_bytes(self._key, 64, "otp", address, counter, 0)
+            return self._prf.digest(
+                _OTP_PREFIX
+                + encode_int_part(address)
+                + encode_int_part(counter)
+                + _BLOCK0_SUFFIX
+            )
         pad = b""
         block = 0
         while len(pad) < self._line_size:

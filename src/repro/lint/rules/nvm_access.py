@@ -12,7 +12,11 @@ ending in ``nvm``). The NVM class itself (``repro/mem/nvm.py``) is the
 counted API and is exempt; the sanctioned uncounted accessors it exports
 (``peek_*``, ``flush_*``, ``tamper_*``, ``data_lines``, ``meta_lines``,
 ``st_slots``, ``*_is_touched``) are the escape hatch for oracles,
-battery flushes and attackers.
+battery flushes and attackers. The batched epoch engine
+(``repro/sim/batch.py``) is the second counted implementation of the
+same API — it binds the region dicts *and* their traffic counters
+locally and bumps both together, with scalar parity enforced by
+``tests/test_batch_parity.py`` — so it shares the exemption.
 """
 
 from __future__ import annotations
@@ -41,8 +45,10 @@ class UncountedNvmAccessRule(Rule):
         "traffic API"
     )
 
-    def __init__(self, exempt_modules: Iterable[str] = ("repro/mem/nvm.py",)
-                 ) -> None:
+    def __init__(self,
+                 exempt_modules: Iterable[str] = (
+                     "repro/mem/nvm.py", "repro/sim/batch.py",
+                 )) -> None:
         self.exempt_modules = frozenset(exempt_modules)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -28,6 +28,9 @@ from repro.mem.nvm import NVM, BitmapLineKey
 from repro.util.lru import LRUCache
 from repro.util.stats import Stats
 
+_ABSENT = object()
+"""Miss sentinel: bitmap lines are ints, so ``None`` is not safe."""
+
 
 class AdrRegion:
     """Battery-backed storage for bitmap lines, spilled by LRU."""
@@ -77,10 +80,15 @@ class AdrRegion:
         traffic and counts under ``adr.cold_misses``.
         """
         self._c_accesses.value += 1
-        lines = self._lines
-        if key in lines:
+        # hit fast path: one dict probe + the LRU touch (load() fires on
+        # every bitmap-line access, so the double lookup and a gauge set
+        # per hit were the hottest lines of the STAR hook chain)
+        entries = self._lines._entries
+        value = entries.get(key, _ABSENT)
+        if value is not _ABSENT:
             self._c_hits.value += 1
-            return lines.get(key)
+            entries.move_to_end(key)
+            return value
         if self._nvm.ra_is_touched(key):
             self.stats.add("adr.misses")
             value = self._nvm.read_ra(key)
@@ -90,7 +98,7 @@ class AdrRegion:
             # there is nothing in the recovery area to read
             self.stats.add("adr.cold_misses")
             value = 0
-        evicted = lines.put(key, value)
+        evicted = self._lines.put(key, value)
         if evicted is not None:
             spilled_key, spilled_value = evicted
             self.stats.add("adr.spills")
@@ -98,15 +106,33 @@ class AdrRegion:
                              index=spilled_key[1])
             self._nvm.write_ra(spilled_key, spilled_value)
             self.spilled.add(spilled_key)
+        # residency only changes on a miss (the insert above), so the
+        # gauge's value and high-watermark are maintained exactly by
+        # setting it here alone
         if self._resident_gauge is not None:
-            self._resident_gauge.set(len(lines))
+            self._resident_gauge.set(len(self._lines))
         return value
 
     def store(self, key: BitmapLineKey, value: int) -> None:
-        """Update a line that is already resident in ADR."""
-        if key not in self._lines:
+        """Update a line that is already resident in ADR.
+
+        A store **refreshes recency** — it routes through
+        :meth:`LRUCache.put`, so the updated line becomes the most
+        recently used and is the last candidate for an LRU spill. That
+        is deliberate: the bitmap-line manager always ``load``s a line
+        immediately before storing it, so writes are touches in the
+        recency order exactly like the hardware's ADR, and a hot line
+        being rewritten must not age toward eviction. ``peek`` is the
+        deliberate opposite — a recency-neutral read for audits and
+        telemetry. Any array-backed replacement (the batched pipeline)
+        must reproduce this order: *load and store refresh, peek does
+        not*, pinned by ``tests/test_adr_layout.py``.
+        """
+        entries = self._lines._entries
+        if key not in entries:
             raise KeyError("bitmap line %r not resident in ADR" % (key,))
-        self._lines.put(key, value)
+        entries[key] = value
+        entries.move_to_end(key)
 
     def peek(self, key: BitmapLineKey) -> int:
         """Read a resident line without traffic or recency effects."""
@@ -116,9 +142,23 @@ class AdrRegion:
         return self._lines.items()
 
     def flush_on_power_failure(self) -> None:
-        """Battery flush at a crash: persist residents, free of charge."""
+        """Battery flush at a crash: persist residents, free of charge.
+
+        After the flush the *live* copy of every formerly-resident line
+        sits in the recovery area, so residency state is reconciled to
+        match: the flushed keys join ``spilled``, the LRU empties (power
+        is gone — ADR holds nothing), and ``adr.resident_lines`` drops
+        to zero. Without this, post-crash telemetry and
+        :func:`repro.sim.validate.audit_machine` would see a line as
+        both flushed-to-RA and resident, violating the §III-C
+        disjointness invariant documented on :attr:`spilled`.
+        """
         for key, value in self._lines.items():
             self._nvm.flush_ra(key, value)
+            self.spilled.add(key)
+        self._lines.clear()
+        if self._resident_gauge is not None:
+            self._resident_gauge.set(0)
 
     def hit_ratio(self) -> float:
         """Fraction of bitmap-line accesses served without NVM traffic.

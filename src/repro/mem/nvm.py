@@ -94,7 +94,9 @@ class NVM:
         self._c_data_writes.value += 1
         if self.trace is not None:
             self.trace.append(("w", "data", line))
-        self._wear_out("data", line)
+        wear_key = ("data", line)
+        wear = self.wear
+        wear[wear_key] = wear.get(wear_key, 0) + 1
         # the touched-lines gauge only moves on first touch
         if line not in self._data:
             self._stats.gauge_set(
@@ -127,7 +129,9 @@ class NVM:
         self._c_meta_writes.value += 1
         if self.trace is not None:
             self.trace.append(("w", "meta", meta_index))
-        self._wear_out("meta", meta_index)
+        wear_key = ("meta", meta_index)
+        wear = self.wear
+        wear[wear_key] = wear.get(wear_key, 0) + 1
         if meta_index not in self._meta:
             self._stats.gauge_set(
                 "nvm.meta_lines_touched", len(self._meta) + 1
@@ -162,7 +166,9 @@ class NVM:
         self._c_ra_writes.value += 1
         if self.trace is not None:
             self.trace.append(("w", "ra", key))
-        self._wear_out("ra", key)
+        wear_key = ("ra", key)
+        wear = self.wear
+        wear[wear_key] = wear.get(wear_key, 0) + 1
         if key not in self._ra:
             self._stats.gauge_set(
                 "nvm.ra_lines_touched", len(self._ra) + 1
@@ -193,7 +199,9 @@ class NVM:
         self._c_st_writes.value += 1
         if self.trace is not None:
             self.trace.append(("w", "st", slot))
-        self._wear_out("st", slot)
+        wear_key = ("st", slot)
+        wear = self.wear
+        wear[wear_key] = wear.get(wear_key, 0) + 1
         if slot not in self._st:
             self._stats.gauge_set(
                 "nvm.st_slots_touched", len(self._st) + 1

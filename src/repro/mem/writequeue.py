@@ -19,7 +19,8 @@ class WritePendingQueue:
     """A bounded write queue drained by ``ports`` parallel PCM banks."""
 
     __slots__ = ("capacity", "service_ns", "ports", "stats",
-                 "_occupancy_hist", "_port_free_ns", "_completions")
+                 "_occupancy_hist", "_port_free_ns", "_completions",
+                 "_clock_ns")
 
     def __init__(self, capacity: int, service_ns: float,
                  ports: int = 1, stats=None) -> None:
@@ -44,9 +45,32 @@ class WritePendingQueue:
         )
         self._port_free_ns = [0.0] * ports
         self._completions: Deque[float] = deque()
+        self._clock_ns = 0.0
 
     def __len__(self) -> int:
         return len(self._completions)
+
+    def _advance_clock(self, now_ns: float) -> None:
+        """Enforce monotonic observation times.
+
+        Every internal shortcut — ``_retire`` popping from the left,
+        the full-queue stall reading ``_completions[0]``, and
+        ``drain_time`` reading ``_completions[-1]`` — relies on the
+        completion deque being sorted, which only holds when callers
+        present non-decreasing ``now_ns`` values (each write picks the
+        earliest-free bank, so with monotonic issue times every new
+        completion lands at or after the previous one). A caller that
+        travels back in time would silently corrupt barrier stalls, so
+        it is rejected loudly instead; :meth:`reset` (a crash) is the
+        one sanctioned way to rewind the clock.
+        """
+        if now_ns < self._clock_ns:
+            raise ValueError(
+                "WPQ observed time going backwards (%.3f ns after "
+                "%.3f ns); completions are only non-decreasing for "
+                "monotonic issue times" % (now_ns, self._clock_ns)
+            )
+        self._clock_ns = now_ns
 
     def _retire(self, now_ns: float) -> None:
         while self._completions and self._completions[0] <= now_ns:
@@ -58,8 +82,11 @@ class WritePendingQueue:
         Returns ``(stall_ns, completion_ns)``: the time the issuing core
         must stall because the queue was full, and when this write will
         be durable. Successive completions are non-decreasing because
-        writes always pick the earliest-free bank.
+        writes always pick the earliest-free bank; that guarantee only
+        holds for non-decreasing ``now_ns``, which is enforced —
+        out-of-order observation raises ``ValueError``.
         """
+        self._advance_clock(now_ns)
         self._retire(now_ns)
         if self._occupancy_hist is not None:
             self._occupancy_hist.observe(len(self._completions))
@@ -79,11 +106,14 @@ class WritePendingQueue:
 
     def drain_time(self, now_ns: float) -> float:
         """Stall needed at ``now_ns`` for the queue to empty (barrier)."""
+        self._advance_clock(now_ns)
         self._retire(now_ns)
         if not self._completions:
             return 0.0
         return self._completions[-1] - now_ns
 
     def reset(self) -> None:
+        """Empty the queue (a crash): contents and the clock are lost."""
         self._completions.clear()
         self._port_free_ns = [0.0] * self.ports
+        self._clock_ns = 0.0

@@ -44,13 +44,14 @@ class EventLog:
         """Record one event; no-op while disabled."""
         if not self.enabled:
             return
+        seq = self.seq
         event = {
-            "seq": self.seq,
+            "seq": seq,
             "t": time.perf_counter() - self._t0,
             "kind": kind,
+            **fields,
         }
-        event.update(fields)
-        self.seq += 1
+        self.seq = seq + 1
         self._ring.append(event)
         if self._sink is not None:
             self._sink.write(json.dumps(event, default=str) + "\n")

@@ -23,17 +23,20 @@ checks restored values directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.schemes.base import PersistenceScheme, RecoveryReport
 from repro.tree.geometry import NodeId
 from repro.tree.node import CachedNode
 
 
-@dataclass(frozen=True)
-class ShadowEntry:
-    """One shadow-table line: the latest update of a cached node."""
+class ShadowEntry(NamedTuple):
+    """One shadow-table line: the latest update of a cached node.
+
+    A ``NamedTuple`` rather than a dataclass: one entry is minted per
+    shadowed memory write (the scheme's defining 2x traffic), so its
+    construction sits on the hot path of every Anubis run.
+    """
 
     meta_index: int
     counters: Tuple[int, ...]
@@ -44,6 +47,10 @@ class AnubisScheme(PersistenceScheme):
 
     name = "anubis"
     supports_sit_recovery = True
+    # on_parent_modified only writes the ST region + a counter — it
+    # never probes or mutates the metadata cache, so batched same-line
+    # write runs stay valid under it
+    parent_hook_is_cache_neutral = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -86,12 +93,13 @@ class AnubisScheme(PersistenceScheme):
                            node: CachedNode, slot: int) -> None:
         if parent is None:
             return  # the SIT root lives on chip; nothing to shadow
-        meta_index = self.controller.geometry.meta_index(parent)
+        controller = self.controller
+        meta_index = controller.geometry.meta_index(parent)
         st_slot = self._slot_of[meta_index]
-        self.controller.nvm.write_st(
+        controller.nvm.write_st(
             st_slot, ShadowEntry(meta_index, node.snapshot())
         )
-        self.controller.stats.add("anubis.st_writes")
+        controller.stats.add("anubis.st_writes")
 
     # ------------------------------------------------------------------
     # recovery: scan the whole ST region, reinstate every entry

@@ -19,13 +19,24 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.config import LSB_BITS
-from repro.crypto.hashing import mac54
+from repro.config import LSB_BITS, MAC_BITS
+from repro.crypto.hashing import (
+    KeyedBlake2b,
+    encode_bytes_part,
+    encode_int_part,
+    encode_str_part,
+)
 from repro.tree.geometry import NodeId
 from repro.tree.node import DataLineImage, NodeImage
 from repro.util.bitfield import mask
 
 _LSB_MASK = mask(LSB_BITS)
+_MAC_MASK = mask(MAC_BITS)
+
+# message prefixes, pre-serialized once (identical bytes to passing the
+# domain string through mac54 — pinned by tests/test_sit.py)
+_NODE_PREFIX = encode_str_part("sit-node")
+_DATA_PREFIX = encode_str_part("sit-data")
 
 
 class SITAuthenticator:
@@ -44,12 +55,13 @@ class SITAuthenticator:
 
     _CACHE_LIMIT = 1 << 16
 
-    __slots__ = ("_key", "_node_mac_cache", "_data_mac_cache")
+    __slots__ = ("_key", "_node_mac_cache", "_data_mac_cache", "_prf")
 
     def __init__(self, key: bytes) -> None:
         self._key = key
         self._node_mac_cache: dict = {}
         self._data_mac_cache: dict = {}
+        self._prf = KeyedBlake2b(key, digest_size=8)
 
     # ------------------------------------------------------------------
     # metadata nodes (counter blocks and SIT nodes share one structure)
@@ -64,9 +76,17 @@ class SITAuthenticator:
         if mac is None:
             if len(cache) >= self._CACHE_LIMIT:
                 cache.clear()
-            mac = cache[cache_key] = mac54(
-                self._key, "sit-node", level, index,
-                *counters, parent_counter, lsbs,
+            # same message bytes mac54 would hash (pre-serialized
+            # prefix + per-part encodings), same keyed digest
+            encode = encode_int_part
+            chunks = [_NODE_PREFIX, encode(level), encode(index)]
+            for counter in counters:
+                chunks.append(encode(counter))
+            chunks.append(encode(parent_counter))
+            chunks.append(encode(lsbs))
+            digest = self._prf.digest(b"".join(chunks))
+            mac = cache[cache_key] = (
+                int.from_bytes(digest, "big") & _MAC_MASK
             )
         return mac
 
@@ -101,8 +121,16 @@ class SITAuthenticator:
         if mac is None:
             if len(cache) >= self._CACHE_LIMIT:
                 cache.clear()
-            mac = cache[cache_key] = mac54(
-                self._key, "sit-data", address, ciphertext, counter, lsbs,
+            message = b"".join((
+                _DATA_PREFIX,
+                encode_int_part(address),
+                encode_bytes_part(ciphertext),
+                encode_int_part(counter),
+                encode_int_part(lsbs),
+            ))
+            digest = self._prf.digest(message)
+            mac = cache[cache_key] = (
+                int.from_bytes(digest, "big") & _MAC_MASK
             )
         return mac
 

@@ -1,0 +1,241 @@
+"""Scalar-vs-batched differential parity suite.
+
+The batched epoch pipeline (:mod:`repro.sim.batch`) is an opt-in
+replacement for the canonical per-reference loop, and its whole
+contract is *bit-identical observables*: final NVM image, wear map,
+``Stats`` counters, gauges, histograms, the structured event log,
+timing-model floats and recovery reports. This suite replays the same
+traces through both pipelines and diffs every one of those surfaces:
+
+* the ``grids/ci_smoke.json`` grid (the cells CI sweeps),
+* a deterministic sample of the fuzz-campaign case space, crash and
+  recovery included,
+* an epoch-size sweep (1 op per epoch up to the default), because
+  epoch boundaries are where run state could leak,
+* the ``run_one`` export surface, compared as canonical JSON bytes.
+
+Wall-clock fields are the single sanctioned difference: event ``t``
+timestamps and span ``duration_s`` are host-time measurements, not
+simulation outputs, so the canonical forms strip them (and nothing
+else) before comparing.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.runner import config_for_scale, run_one
+from repro.config import small_config
+from repro.fuzz import CampaignSpec, sample_cases
+from repro.fuzz.executor import campaign_config, materialize_trace
+from repro.obs.export import telemetry_snapshot
+from repro.sim.batch import DEFAULT_EPOCH, eligible
+from repro.sim.machine import Machine
+from repro.workloads.registry import make_workload
+
+NVM_REGIONS = ("_data", "_meta", "_ra", "_st")
+
+TIMING_FIELDS = (
+    "now_ns", "instructions", "read_stall_ns", "write_stall_ns",
+    "barrier_stall_ns",
+)
+
+
+# ----------------------------------------------------------------------
+# canonical forms and the differ
+# ----------------------------------------------------------------------
+def _strip_wall_clock(value):
+    """Recursively drop host-time fields (event ``t``, span
+    ``duration_s``) from a telemetry structure."""
+    if isinstance(value, dict):
+        return {
+            key: _strip_wall_clock(item)
+            for key, item in value.items()
+            if key not in ("t", "duration_s")
+        }
+    if isinstance(value, list):
+        return [_strip_wall_clock(item) for item in value]
+    return value
+
+
+def _canonical_telemetry(machine) -> dict:
+    return _strip_wall_clock(telemetry_snapshot(machine.stats.registry))
+
+
+def _run(config, scheme, ops, batch, crash):
+    machine = Machine(config, scheme=scheme, telemetry=True, batch=batch)
+    machine.run(ops)
+    recovery = None
+    if crash:
+        machine.crash()
+        recovery = machine.recover()
+    return machine, recovery
+
+
+def _assert_parity(config, scheme, ops, batch, crash=False):
+    """Run ``ops`` scalar and batched; diff every observable surface."""
+    scalar, scalar_rec = _run(config, scheme, list(ops), None, crash)
+    batched, batched_rec = _run(config, scheme, list(ops), batch, crash)
+
+    for region in NVM_REGIONS:
+        assert getattr(scalar.nvm, region) == getattr(
+            batched.nvm, region
+        ), "nvm.%s diverged (scheme=%s batch=%r)" % (region, scheme, batch)
+    assert scalar.nvm.wear == batched.nvm.wear
+
+    assert scalar.stats.snapshot() == batched.stats.snapshot()
+
+    for field in TIMING_FIELDS:
+        assert getattr(scalar.timing, field) == getattr(
+            batched.timing, field
+        ), "timing.%s diverged (scheme=%s batch=%r)" % (
+            field, scheme, batch
+        )
+
+    assert _canonical_telemetry(scalar) == _canonical_telemetry(batched)
+
+    assert scalar_rec == batched_rec
+
+
+# ----------------------------------------------------------------------
+# the CI smoke grid
+# ----------------------------------------------------------------------
+def _smoke_grid():
+    with open("grids/ci_smoke.json") as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("scheme", ["wb", "star"])
+@pytest.mark.parametrize("workload", ["array", "hash"])
+def test_ci_smoke_grid_parity(scheme, workload):
+    grid = _smoke_grid()
+    config = config_for_scale(grid["scale"])
+    assert scheme in grid["schemes"] and workload in grid["workloads"]
+    ops = list(
+        make_workload(
+            workload, config.num_data_lines,
+            operations=grid["operations"], seed=grid["seed"],
+        ).ops()
+    )
+    _assert_parity(config, scheme, ops, DEFAULT_EPOCH,
+                   crash=(scheme != "wb"))
+
+
+# ----------------------------------------------------------------------
+# fuzz-corpus sample (crash + recovery parity)
+# ----------------------------------------------------------------------
+def _corpus_sample():
+    # attack_rate=0: parity replays the machine, not the attacker (the
+    # fuzz oracle owns attack semantics); the sample still spans every
+    # SIT scheme and workload family the campaign draws from
+    spec = CampaignSpec(cases=6, seed=29, attack_rate=0.0)
+    return sample_cases(spec)
+
+
+@pytest.mark.parametrize(
+    "case", _corpus_sample(), ids=lambda case: case.case_id
+)
+def test_fuzz_corpus_sample_parity(case):
+    config = campaign_config()
+    trace = materialize_trace(case, config)
+    ops = trace[: case.crash_index(len(trace))]
+    _assert_parity(config, case.scheme, ops, DEFAULT_EPOCH,
+                   crash=(case.scheme != "wb"))
+
+
+# ----------------------------------------------------------------------
+# epoch boundaries
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("epoch", [1, 3, DEFAULT_EPOCH])
+def test_epoch_size_is_unobservable(epoch):
+    """Same-line runs and deferred flushes must not leak across epoch
+    boundaries: any epoch size yields the same machine."""
+    config = config_for_scale("smoke")
+    ops = list(
+        make_workload(
+            "hash", config.num_data_lines, operations=240, seed=11
+        ).ops()
+    )
+    _assert_parity(config, "star", ops, epoch, crash=True)
+
+
+def test_run_split_across_epoch_boundary():
+    """A same-counter-block write run that straddles an epoch edge is
+    preaggregated identically to one replayed in a single epoch."""
+    config = small_config()
+    ops = list(
+        make_workload(
+            "array", config.num_data_lines, operations=96, seed=5
+        ).ops()
+    )
+    machines = []
+    for epoch in (8, len(ops)):
+        machine = Machine(config, scheme="star", telemetry=True,
+                          batch=epoch)
+        machine.run(ops)
+        machines.append(machine)
+    first, second = machines
+    for region in NVM_REGIONS:
+        assert getattr(first.nvm, region) == getattr(second.nvm, region)
+    assert first.stats.snapshot() == second.stats.snapshot()
+    assert first.timing.now_ns == second.timing.now_ns
+
+
+# ----------------------------------------------------------------------
+# the export surface (byte-identical)
+# ----------------------------------------------------------------------
+def test_run_one_exports_byte_identical():
+    config = config_for_scale("smoke")
+    for scheme in ("anubis", "star"):
+        results = [
+            run_one(config, scheme, "hash", operations=200, seed=11,
+                    crash_and_recover=True, telemetry=True, batch=batch)
+            for batch in (None, DEFAULT_EPOCH)
+        ]
+        exports = [
+            json.dumps(
+                _strip_wall_clock(dataclasses.asdict(result)),
+                sort_keys=True, default=str,
+            ).encode()
+            for result in results
+        ]
+        assert exports[0] == exports[1], (
+            "run_one export diverged for %s" % scheme
+        )
+
+
+# ----------------------------------------------------------------------
+# eligibility: ineligible machines silently take the scalar path
+# ----------------------------------------------------------------------
+def test_ineligible_machine_falls_back_to_scalar():
+    """A subclassed NVM (start-gap remapping) must be refused by the
+    engine — its overridden ``write_data`` would be bypassed by the
+    engine's direct region stores — and ``Machine(batch=...)`` must
+    silently replay such machines through the scalar loop instead."""
+    from repro.mem.wearlevel import WearLevelingNVM
+
+    config = config_for_scale("smoke")
+    ops = list(
+        make_workload(
+            "hash", config.num_data_lines, operations=120, seed=11
+        ).ops()
+    )
+    machines = []
+    for batch in (None, DEFAULT_EPOCH):
+        machine = Machine(
+            config, scheme="star", telemetry=True,
+            nvm=WearLevelingNVM(config.num_data_lines), batch=batch,
+        )
+        if batch is not None:
+            assert not eligible(machine)
+        machine.run(list(ops))
+        machines.append(machine)
+    scalar, fallback = machines
+    for region in NVM_REGIONS:
+        assert getattr(scalar.nvm, region) == getattr(
+            fallback.nvm, region
+        )
+    assert scalar.stats.snapshot() == fallback.stats.snapshot()
+    # a plain machine, by contrast, is served by the engine
+    assert eligible(Machine(config, scheme="star", telemetry=True))

@@ -4,7 +4,17 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import LINE_SIZE, MAC_BITS
-from repro.crypto.hashing import hash_bytes, keyed_hash, mac54, mac_n
+from repro.crypto.hashing import (
+    KeyedBlake2b,
+    _serialize,
+    encode_bytes_part,
+    encode_int_part,
+    encode_str_part,
+    hash_bytes,
+    keyed_hash,
+    mac54,
+    mac_n,
+)
 from repro.crypto.otp import CounterModeEngine
 
 KEY = b"test-key"
@@ -69,6 +79,95 @@ class TestMacTruncation:
     def test_distinct_inputs_rarely_collide(self, a, b):
         if a != b:
             assert keyed_hash(KEY, a) != keyed_hash(KEY, b)
+
+
+class TestFastPathEquivalence:
+    """The hot-path helpers must be byte-identical to the generic path.
+
+    ``SITAuthenticator`` and ``CounterModeEngine`` assemble their hash
+    messages from these piecewise encoders and a prototype-copied keyed
+    BLAKE2b; every MAC and pad in the repo depends on these producing
+    exactly the bytes ``_serialize``/``mac54``/``hash_bytes`` would.
+    """
+
+    @given(st.integers(min_value=0, max_value=2 ** 80))
+    @settings(max_examples=200)
+    def test_int_part_matches_serialize(self, value):
+        assert encode_int_part(value) == _serialize((value,))
+
+    def test_int_part_boundaries(self):
+        for value in (0, 1, 255, 256, 65535, 65536, 2 ** 54 - 1, 2 ** 64):
+            assert encode_int_part(value) == _serialize((value,))
+
+    def test_int_part_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_int_part(-1)
+
+    @given(st.text(max_size=32))
+    @settings(max_examples=50)
+    def test_str_part_matches_serialize(self, value):
+        assert encode_str_part(value) == _serialize((value,))
+
+    @given(st.binary(max_size=80))
+    @settings(max_examples=50)
+    def test_bytes_part_matches_serialize(self, value):
+        assert encode_bytes_part(value) == _serialize((value,))
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=50)
+    def test_keyed_blake2b_matches_fresh_instance(self, message):
+        import hashlib
+
+        prf = KeyedBlake2b(KEY, digest_size=8)
+        fresh = hashlib.blake2b(message, key=KEY, digest_size=8)
+        assert prf.digest(message) == fresh.digest()
+        # the prototype is not consumed: a second digest still matches
+        assert prf.digest(message) == fresh.digest()
+
+    @given(st.integers(min_value=0, max_value=4),
+           st.integers(min_value=0, max_value=2 ** 20),
+           st.lists(st.integers(min_value=0, max_value=2 ** 30),
+                    min_size=8, max_size=8),
+           st.integers(min_value=0, max_value=2 ** 30),
+           st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=50)
+    def test_node_mac_matches_mac54(self, level, index, counters,
+                                    parent_counter, lsbs):
+        from repro.tree.sit import SITAuthenticator
+
+        auth = SITAuthenticator(KEY)
+        assert auth.node_mac((level, index), counters,
+                             parent_counter, lsbs) == \
+            mac54(KEY, "sit-node", level, index, *counters,
+                  parent_counter, lsbs)
+
+    @given(st.integers(min_value=0, max_value=2 ** 20),
+           st.binary(min_size=LINE_SIZE, max_size=LINE_SIZE),
+           st.integers(min_value=0, max_value=2 ** 40),
+           st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=50)
+    def test_data_mac_matches_mac54(self, address, ciphertext,
+                                    counter, lsbs):
+        from repro.tree.sit import SITAuthenticator
+
+        auth = SITAuthenticator(KEY)
+        assert auth.data_mac(address, ciphertext, counter, lsbs) == \
+            mac54(KEY, "sit-data", address, ciphertext, counter, lsbs)
+
+    @given(st.integers(min_value=0, max_value=2 ** 30),
+           st.integers(min_value=0, max_value=2 ** 40))
+    @settings(max_examples=50)
+    def test_line_pad_matches_hash_bytes(self, address, counter):
+        engine = CounterModeEngine(KEY)
+        assert engine.one_time_pad(address, counter) == \
+            hash_bytes(KEY, 64, "otp", address, counter, 0)
+
+    def test_oversize_line_pad_unchanged(self):
+        engine = CounterModeEngine(KEY, line_size=100)
+        pad = engine.one_time_pad(3, 5)
+        expected = (hash_bytes(KEY, 64, "otp", 3, 5, 0)
+                    + hash_bytes(KEY, 64, "otp", 3, 5, 1))[:100]
+        assert pad == expected
 
 
 class TestCounterModeEngine:

@@ -81,6 +81,93 @@ class TestContinueAfterRecover:
             assert rebooted.controller.read_data(line) is not None
 
 
+class TestAdrFlushReconciliation:
+    """The battery flush must reconcile residency with the spilled set.
+
+    Pre-fix, ``AdrRegion.flush_on_power_failure`` copied residents to
+    the recovery area but left the LRU, the ``spilled`` set, and the
+    ``adr.resident_lines`` gauge frozen at their pre-crash values — so
+    between ``crash()`` and ``recover()`` a bitmap line could be seen
+    as both flushed-to-RA and resident, violating the §III-C
+    disjointness invariant that ``audit_machine`` checks.
+    """
+
+    def _crashed_star_machine(self, telemetry):
+        machine = Machine(small_config(), scheme="star",
+                          telemetry=telemetry)
+        cycle_ops(machine, operations=250, seed=21)
+        machine.crash()
+        return machine
+
+    def test_post_crash_adr_state_is_disjoint(self):
+        from repro.sim.validate import _check_adr
+
+        machine = self._crashed_star_machine(telemetry=False)
+        adr = machine.scheme.bitmap.adr
+        assert len(adr) == 0
+        for key in sorted(adr.spilled):
+            assert key not in adr
+            assert machine.nvm.ra_is_touched(key)
+        # the §III-C residency audit holds even between crash and
+        # recover (the full audit_machine would also flag the stale
+        # metadata images that STAR's recovery exists to repair)
+        assert _check_adr(machine) == []
+
+    def test_flushed_lines_join_the_spilled_set(self):
+        machine = Machine(small_config(), scheme="star",
+                          telemetry=False)
+        cycle_ops(machine, operations=250, seed=22)
+        adr = machine.scheme.bitmap.adr
+        resident = sorted(key for key, _value in adr.items())
+        assert resident  # the workload touched bitmap lines
+        machine.crash()
+        for key in resident:
+            assert key in adr.spilled
+            assert machine.nvm.ra_is_touched(key)
+
+    def test_resident_gauge_drops_to_zero(self):
+        machine = self._crashed_star_machine(telemetry=True)
+        gauge = machine.stats.registry.gauge("adr.resident_lines")
+        assert gauge.value == 0
+
+    def test_recovery_still_succeeds_after_reconcile(self):
+        machine = self._crashed_star_machine(telemetry=False)
+        report = machine.recover(raise_on_failure=True)
+        assert machine.oracle_check(report)
+
+
+class TestAdrStoreRecency:
+    """Pin the intended LRU semantics: load/store refresh, peek doesn't.
+
+    The batched pipeline reuses the scalar ``AdrRegion``; if it ever
+    grows an array-backed replacement, this is the order it must
+    reproduce, spill for spill.
+    """
+
+    def _loaded_adr(self):
+        from repro.mem.adr import AdrRegion
+
+        nvm = NVM()
+        adr = AdrRegion(2, nvm)
+        adr.load((1, 0))
+        adr.load((1, 1))
+        return adr, nvm
+
+    def test_store_refreshes_recency(self):
+        adr, _nvm = self._loaded_adr()
+        adr.store((1, 0), 9)      # (1, 0) becomes most recently used
+        adr.load((1, 2))          # capacity 2: evicts the LRU, (1, 1)
+        assert (1, 1) in adr.spilled
+        assert (1, 0) in adr
+
+    def test_peek_does_not_refresh_recency(self):
+        adr, _nvm = self._loaded_adr()
+        assert adr.peek((1, 0)) == 0   # recency-neutral read
+        adr.load((1, 2))               # evicts (1, 0): still the LRU
+        assert (1, 0) in adr.spilled
+        assert (1, 1) in adr
+
+
 class TestNvmAccessors:
     def test_meta_lines_sorted_and_traffic_free(self):
         nvm = NVM()
