@@ -160,12 +160,18 @@ class LeaseBoard:
         holding a lease on it will get a clean state-mismatch rejection
         at completion time.
         """
-        cursor = self._conn.execute(
-            "UPDATE leases SET state = 'done' "
-            "WHERE spec_hash = ? AND state != 'done'",
-            (spec_hash,),
-        )
-        return cursor.rowcount == 1
+        self._begin()
+        try:
+            cursor = self._conn.execute(
+                "UPDATE leases SET state = 'done' "
+                "WHERE spec_hash = ? AND state != 'done'",
+                (spec_hash,),
+            )
+            self._conn.execute("COMMIT")
+            return cursor.rowcount == 1
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
 
     def requeue(self, spec_hashes: List[str]) -> int:
         """Force cells back to ``pending`` (e.g. done rows whose

@@ -58,6 +58,37 @@ class TestSeeding:
         assert not board.settle(specs[0].spec_hash)  # already done
         assert board.finished()
 
+    def test_settle_is_transactional(self, tmp_path):
+        """settle participates in the board's BEGIN IMMEDIATE
+        discipline: it waits for a concurrent writer's transaction
+        (instead of interleaving mid-transaction), commits its own
+        (a peer connection sees the row), and leaves no transaction
+        open behind it (the next board method can BEGIN again)."""
+        import sqlite3
+
+        specs = make_specs(2)
+        board = make_board(tmp_path)
+        board.seed(specs)
+
+        # a peer process holding the write lock blocks settle
+        peer = LeaseBoard(tmp_path / "leases.sqlite",
+                          clock=FakeClock(), busy_timeout_s=0.05)
+        board._begin()
+        try:
+            import pytest
+            with pytest.raises(sqlite3.OperationalError):
+                peer.settle(specs[0].spec_hash)
+        finally:
+            board._conn.execute("ROLLBACK")
+
+        # settle commits durably: the peer connection sees it...
+        assert board.settle(specs[0].spec_hash)
+        assert peer.counts()["done"] == 1
+        # ...and leaves no transaction open on its own connection
+        (lease,) = board.claim("w1", lease_s=60.0)
+        assert lease.spec_hash == specs[1].spec_hash
+        peer.close()
+
 
 class TestClaiming:
     def test_claims_come_in_spec_hash_order(self, tmp_path):
