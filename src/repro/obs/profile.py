@@ -29,6 +29,7 @@ Export targets:
 from __future__ import annotations
 
 import json
+import os
 from functools import wraps
 from typing import Dict, List, Optional
 
@@ -205,10 +206,15 @@ class PhaseProfiler:
         }
 
     def write_chrome_trace(self, path) -> None:
-        with open(path, "w") as handle:
+        # tmp-write + os.replace: trace consumers (the CI cmp step,
+        # a browser pointed at a live run directory) must never see a
+        # torn JSON prefix
+        tmp = "%s.tmp" % path
+        with open(tmp, "w") as handle:
             json.dump(self.to_chrome_trace(), handle, indent=1,
                       sort_keys=True)
             handle.write("\n")
+        os.replace(tmp, path)
 
     def aggregate(self) -> Dict[str, Dict]:
         """Per-phase totals: span count and op-counter volume.

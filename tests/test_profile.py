@@ -133,6 +133,19 @@ class TestPhaseProfiler:
             json.dumps(machine.profiler.to_chrome_trace())
         )
 
+    def test_write_chrome_trace_publishes_atomically(self, tmp_path):
+        """The trace lands via tmp-write + os.replace: no .tmp file
+        survives, and an existing trace is replaced wholesale (a
+        concurrent reader sees the old file or the new one, never a
+        torn prefix — the PR 7 heartbeat-salvage bug class)."""
+        machine = profiled_run()
+        path = tmp_path / "trace.json"
+        path.write_text("stale")
+        machine.profiler.write_chrome_trace(path)
+        assert not (tmp_path / "trace.json.tmp").exists()
+        assert json.loads(path.read_text())["traceEvents"]
+        assert list(tmp_path.iterdir()) == [path]
+
     def test_aggregate_and_table(self):
         machine = profiled_run()
         aggregate = machine.profiler.aggregate()
