@@ -104,6 +104,27 @@ class NVM:
             )
         self._data[line] = image
 
+    def migrate_data(self, source: int, destination: int) -> bool:
+        """Move a data line between physical slots, counted.
+
+        The wear-leveling gap rotation is real device traffic: one
+        line read at ``source``, one line write at ``destination``.
+        Counts, wear and the address trace all see it; the touched
+        gauge does not move (one slot vacated, one filled). Returns
+        ``False`` (and counts nothing) when ``source`` holds no line.
+        """
+        content = self._data.pop(source, None)
+        if content is None:
+            return False
+        self._c_data_reads.value += 1
+        self._c_data_writes.value += 1
+        if self.trace is not None:
+            self.trace.append(("r", "data", source))
+            self.trace.append(("w", "data", destination))
+        self._wear_out("data", destination)
+        self._data[destination] = content
+        return True
+
     def peek_data(self, line: int) -> Optional[DataLineImage]:
         """Read without counting traffic (test oracles, attackers)."""
         return self._data.get(line)

@@ -118,10 +118,6 @@ class WearLevelingNVM(NVM):
         if migration is not None:
             source, destination = migration
             self.stats.add("wearlevel.gap_moves")
-            content = self._data.pop(source, None)
-            if content is not None:
-                # the migration is a real device read + write
-                self.stats.add("nvm.data_reads")
-                self.stats.add("nvm.data_writes")
-                self._wear_out("data", destination)
-                self._data[destination] = content
+            # the migration is a real device read + write, routed
+            # through the counted API so the address trace sees it too
+            self.migrate_data(source, destination)

@@ -88,6 +88,31 @@ class TestWearLevelingNVM:
             nvm.write_data(step % 16, _image())
         assert nvm.stats["wearlevel.gap_moves"] == 5
 
+    def test_migration_traffic_is_counted_and_traced(self):
+        """Gap moves are real device traffic: one read + one write in
+        the counters AND in the address trace. The trace half
+        regressed silently while the copy reached into _data directly;
+        it now routes through the counted migrate_data API."""
+        nvm = WearLevelingNVM(4, gap_write_interval=1)
+        nvm.trace = []
+        nvm.write_data(3, _image())  # slot 3 adj. to gap 4 -> migrates
+        migrations = [op for op in nvm.trace
+                      if op in (("r", "data", 3), ("w", "data", 4))]
+        assert migrations == [("r", "data", 3), ("w", "data", 4)]
+        reads = sum(1 for op in nvm.trace if op[0] == "r")
+        writes = sum(1 for op in nvm.trace if op[0] == "w")
+        assert nvm.stats["nvm.data_reads"] == reads == 1
+        assert nvm.stats["nvm.data_writes"] == writes == 2
+        # wear lands on the migration destination
+        assert nvm.wear[("data", 4)] == 1
+
+    def test_migration_of_an_empty_slot_is_free(self):
+        nvm = WearLevelingNVM(8, gap_write_interval=10 ** 9)
+        nvm.trace = []
+        assert not nvm.migrate_data(5, 8)
+        assert nvm.trace == []
+        assert nvm.stats["nvm.data_reads"] == 0
+
     def test_hot_line_wear_spread(self):
         """Hammering one logical line spreads across physical slots."""
         plain = WearLevelingNVM(16, gap_write_interval=10 ** 9)
