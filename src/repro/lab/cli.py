@@ -66,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    def add_store(sub):
+    def add_store(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--store", default=".starlab",
                          help="store root (default: .starlab)")
 
@@ -217,7 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_backoff(sub) -> None:
+def _add_backoff(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--backoff", type=float, default=0.5,
                      metavar="SECONDS",
                      help="retry backoff base (default 0.5)")
@@ -232,7 +232,7 @@ def _add_backoff(sub) -> None:
                           "(default 30)")
 
 
-def _backoff_policy(args) -> BackoffPolicy:
+def _backoff_policy(args: argparse.Namespace) -> BackoffPolicy:
     return BackoffPolicy(
         getattr(args, "backoff_policy", "linear"),
         base_s=getattr(args, "backoff", 0.5),
@@ -240,7 +240,7 @@ def _backoff_policy(args) -> BackoffPolicy:
     )
 
 
-def _add_telemetry(sub) -> None:
+def _add_telemetry(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--telemetry", nargs="?", metavar="DIR",
                      const="auto", default=None,
                      help="publish live heartbeat/metric snapshots for "
@@ -285,7 +285,8 @@ def _report_table(report: CampaignReport,
     return table
 
 
-def _run_specs(args, specs: List[RunSpec], name: str) -> int:
+def _run_specs(args: argparse.Namespace, specs: List[RunSpec],
+               name: str) -> int:
     stats = Stats(enabled=True)
     store = ResultStore(args.store, stats=stats)
     telemetry_dir = None
@@ -310,7 +311,7 @@ def _run_specs(args, specs: List[RunSpec], name: str) -> int:
     return EXIT_OK
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     specs = gridfile.resolve_specs(args.grid)
     name = "+".join(
         gridfile.load_grid(grid).get("name", str(grid))
@@ -319,7 +320,7 @@ def _cmd_run(args) -> int:
     return _run_specs(args, specs, name)
 
 
-def _cmd_resume(args) -> int:
+def _cmd_resume(args: argparse.Namespace) -> int:
     if args.grid:
         return _cmd_run(args)
     store = ResultStore(args.store)
@@ -347,7 +348,7 @@ def _cmd_resume(args) -> int:
 # ----------------------------------------------------------------------
 # status / export / gc
 # ----------------------------------------------------------------------
-def _cmd_status(args) -> int:
+def _cmd_status(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     table = ExperimentTable(
         experiment_id="star-lab",
@@ -399,7 +400,7 @@ def _export_payload(store: ResultStore,
     return store.export(spec_hashes=spec_hashes, prefix=hash_prefix)
 
 
-def _cmd_export(args) -> int:
+def _cmd_export(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     entries = _export_payload(store, args.grid, args.hash_prefix)
     text = json.dumps(entries, indent=2, sort_keys=True) + "\n"
@@ -412,7 +413,7 @@ def _cmd_export(args) -> int:
     return EXIT_OK
 
 
-def _cmd_gc(args) -> int:
+def _cmd_gc(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     keep = None
     if args.grid:
@@ -429,13 +430,13 @@ def _cmd_gc(args) -> int:
 # ----------------------------------------------------------------------
 # farm: serve / work / merge
 # ----------------------------------------------------------------------
-def _farm_dir(args) -> Path:
+def _farm_dir(args: argparse.Namespace) -> Path:
     if getattr(args, "farm", None):
         return Path(args.farm)
     return Path(args.store) / "farm"
 
 
-def _cmd_serve(args) -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
     specs = gridfile.resolve_specs(args.grid)
     name = "+".join(
         gridfile.load_grid(grid).get("name", str(grid))
@@ -462,7 +463,7 @@ def _cmd_serve(args) -> int:
     return EXIT_OK
 
 
-def _cmd_work(args) -> int:
+def _cmd_work(args: argparse.Namespace) -> int:
     worker_id = args.id if args.id else "w%d" % os.getpid()
     worker = Worker(
         args.farm, worker_id, jobs=args.jobs, batch=args.batch,
@@ -480,7 +481,7 @@ def _cmd_work(args) -> int:
     return EXIT_FAILURES if summary["failed"] else EXIT_OK
 
 
-def _cmd_merge(args) -> int:
+def _cmd_merge(args: argparse.Namespace) -> int:
     stats = Stats(enabled=True)
     store = ResultStore(args.store, stats=stats)
     coordinator = Coordinator(store, _farm_dir(args), stats=stats)

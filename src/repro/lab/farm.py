@@ -41,19 +41,23 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.lab.clock import BackoffPolicy, Clock
 from repro.lab.gridfile import campaign_id
 from repro.lab.lease import Lease, LeaseBoard
 from repro.lab.scheduler import (
     CampaignReport,
+    JobRunner,
     Scheduler,
     write_journal,
 )
 from repro.lab.spec import RunSpec
 from repro.lab.store import ResultStore, StoreError
 from repro.util.stats import Stats
+
+if TYPE_CHECKING:
+    from repro.obs.live import HeartbeatWriter
 
 PathLike = Union[str, Path]
 
@@ -79,8 +83,9 @@ def worker_store_path(farm_dir: PathLike, worker_id: str) -> Path:
     return Path(farm_dir) / WORKERS_DIR / worker_id / "store"
 
 
-def _heartbeat(directory, name: str, clock: Clock, interval_s: float,
-               stats: Optional[Stats]):
+def _heartbeat(directory: PathLike, name: str, clock: Clock,
+               interval_s: float,
+               stats: Optional[Stats]) -> "HeartbeatWriter":
     from repro.obs.live import HeartbeatWriter
 
     return HeartbeatWriter(directory, name, clock=clock,
@@ -309,7 +314,7 @@ class Worker:
                  poll_interval_s: float = 0.2,
                  heartbeat_interval_s: float = 1.0,
                  telemetry: bool = True,
-                 runner=None,
+                 runner: Optional[JobRunner] = None,
                  wait_s: float = 30.0,
                  max_batches: Optional[int] = None) -> None:
         self.farm_dir = Path(farm_dir)

@@ -113,7 +113,7 @@ class LeaseBoard:
     def __enter__(self) -> "LeaseBoard":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------

@@ -38,7 +38,20 @@ import signal
 import threading
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from types import FrameType
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    cast,
+)
 
 from repro.lab.clock import BackoffPolicy, Clock
 from repro.lab.executor import execute
@@ -47,8 +60,22 @@ from repro.lab.spec import RunSpec, canonical_json
 from repro.lab.store import ResultStore, git_revision
 from repro.util.stats import Stats
 
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+    from multiprocessing.context import BaseContext
+
+    from repro.obs.live import HeartbeatWriter
+
 Outcome = Tuple[str, object]
 """("ok", payload) or ("error", message)."""
+
+Telemetry = Tuple[str, str]
+"""A ``(directory, worker name)`` heartbeat destination."""
+
+SignalHandler = Union[
+    Callable[[int, Optional[FrameType]], Any], int, signal.Handlers, None
+]
+"""What :func:`signal.signal` accepts and returns."""
 
 CHECKPOINT_LIMIT = 64
 """Journal checkpoint entries retained (a bounded progress history —
@@ -59,7 +86,9 @@ rewrites cheap)."""
 # ----------------------------------------------------------------------
 # job runners (real processes in production, fakes in tests)
 # ----------------------------------------------------------------------
-def _heartbeat_writer(telemetry):
+def _heartbeat_writer(
+    telemetry: Optional[Telemetry],
+) -> Optional["HeartbeatWriter"]:
     """Build a worker-side heartbeat writer from a ``(dir, name)``
     pair; ``None`` passes through (telemetry is strictly opt-in)."""
     if telemetry is None:
@@ -70,7 +99,8 @@ def _heartbeat_writer(telemetry):
     return HeartbeatWriter(directory, worker, interval_s=0.0)
 
 
-def _worker_main(conn, spec_dict: Dict, telemetry=None) -> None:
+def _worker_main(conn: "Connection", spec_dict: Dict,
+                 telemetry: Optional[Telemetry] = None) -> None:
     """Child-process entry point: execute one spec, send the payload."""
     try:
         spec = RunSpec.from_dict(spec_dict)
@@ -97,11 +127,28 @@ def _worker_main(conn, spec_dict: Dict, telemetry=None) -> None:
         conn.close()
 
 
+class JobHandle(Protocol):
+    """What the scheduler needs from one in-flight job."""
+
+    started: float
+
+    def poll(self) -> Optional[Outcome]: ...
+
+    def stop(self) -> None: ...
+
+
+class JobRunner(Protocol):
+    """What the scheduler needs from a job launcher."""
+
+    def start(self, spec: RunSpec, clock: Clock,
+              telemetry: Optional[Telemetry] = None) -> JobHandle: ...
+
+
 class InlineHandle:
     """A job executed synchronously in the scheduler process."""
 
     def __init__(self, spec: RunSpec, started: float,
-                 telemetry=None) -> None:
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.started = started
         writer = _heartbeat_writer(telemetry)
         if writer is not None:
@@ -132,15 +179,16 @@ class InlineRunner:
     supports_telemetry = True
 
     def start(self, spec: RunSpec, clock: Clock,
-              telemetry=None) -> InlineHandle:
+              telemetry: Optional[Telemetry] = None) -> InlineHandle:
         return InlineHandle(spec, clock.now(), telemetry=telemetry)
 
 
 class ProcessHandle:
     """One spawned worker process executing one cell."""
 
-    def __init__(self, context, spec: RunSpec, started: float,
-                 telemetry=None) -> None:
+    def __init__(self, context: "BaseContext", spec: RunSpec,
+                 started: float,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.started = started
         self._recv, child = context.Pipe(duplex=False)
         self.process = context.Process(
@@ -187,7 +235,7 @@ class ProcessRunner:
         self._context = multiprocessing.get_context("spawn")
 
     def start(self, spec: RunSpec, clock: Clock,
-              telemetry=None) -> ProcessHandle:
+              telemetry: Optional[Telemetry] = None) -> ProcessHandle:
         return ProcessHandle(self._context, spec, clock.now(),
                              telemetry=telemetry)
 
@@ -246,8 +294,8 @@ class Scheduler:
                  clock: Optional[Clock] = None,
                  stats: Optional[Stats] = None,
                  poll_interval_s: float = 0.02,
-                 runner=None,
-                 telemetry_dir=None,
+                 runner: Optional[JobRunner] = None,
+                 telemetry_dir: Optional[Union[str, Path]] = None,
                  heartbeat_interval_s: float = 1.0) -> None:
         self.store = store
         self.jobs = max(1, jobs)
@@ -276,11 +324,11 @@ class Scheduler:
         self._stop_requests += 1
         return self._stop_requests
 
-    def _install_sigint(self):
+    def _install_sigint(self) -> SignalHandler:
         if threading.current_thread() is not threading.main_thread():
             return None
 
-        def handler(signum, frame):
+        def handler(signum: int, frame: Optional[FrameType]) -> None:
             count = self.request_stop()
             message = (
                 "star-lab: draining in-flight cells "
@@ -297,7 +345,7 @@ class Scheduler:
     # ------------------------------------------------------------------
     # journal (the resume checkpoint)
     # ------------------------------------------------------------------
-    def _journal_path(self, cid: str):
+    def _journal_path(self, cid: str) -> Path:
         return self.store.campaigns_path / (cid + ".json")
 
     def _write_journal(self, cid: str, name: str,
@@ -330,7 +378,7 @@ class Scheduler:
     # ------------------------------------------------------------------
     # live telemetry (the star-top feed)
     # ------------------------------------------------------------------
-    def _parent_heartbeat(self):
+    def _parent_heartbeat(self) -> Optional["HeartbeatWriter"]:
         """The scheduler's own heartbeat writer (or ``None``)."""
         if self.telemetry_dir is None:
             return None
@@ -341,7 +389,7 @@ class Scheduler:
             interval_s=self.heartbeat_interval_s, stats=self.stats,
         )
 
-    def _start(self, spec: RunSpec, slot: int):
+    def _start(self, spec: RunSpec, slot: int) -> JobHandle:
         """Launch one cell, passing worker telemetry when supported."""
         if (self.telemetry_dir is not None
                 and getattr(self.runner, "supports_telemetry", False)):
@@ -383,7 +431,7 @@ class Scheduler:
             parent_beat.write(registry=self.stats.registry,
                               progress=report.summary(), force=True)
 
-        running: List[Tuple[_Job, object, int]] = []
+        running: List[Tuple[_Job, JobHandle, int]] = []
         free_slots = list(range(self.jobs - 1, -1, -1))
         launched = 0
         old_handler = self._install_sigint()
@@ -425,7 +473,7 @@ class Scheduler:
                     progressed = True
                     status, value = outcome
                     if status == "ok":
-                        self._commit(job, value, provenance,
+                        self._commit(job, cast(Dict, value), provenance,
                                      now - handle.started, report)
                         self._checkpoint(report)
                         self._write_journal(cid, name, specs,

@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.config import (
     CacheConfig,
@@ -30,6 +30,9 @@ from repro.config import (
     SystemConfig,
 )
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.fuzz.sampling import FuzzCase
 
 SCHEMA_VERSION = 1
 """Bumping this invalidates every cached cell (the version is hashed)."""
@@ -188,7 +191,8 @@ def bench_spec(config: SystemConfig, scheme: str, workload: str,
     )
 
 
-def fuzz_spec(case, config: Optional[SystemConfig] = None) -> RunSpec:
+def fuzz_spec(case: "FuzzCase",
+              config: Optional[SystemConfig] = None) -> RunSpec:
     """The spec of one fuzz case (crash fractions ride in ``params``).
 
     ``case`` is a :class:`repro.fuzz.sampling.FuzzCase`; the machine is

@@ -1,0 +1,118 @@
+"""The checked-in waiver file for ``star-lint --baseline``.
+
+A baseline lets a rule land *before* the tree is clean: known
+findings are waived in a reviewed, checked-in ``lint-baseline.json``
+instead of sprinkling pragmas through code the PR does not otherwise
+touch. Two directions keep it honest:
+
+* a finding matching a waiver is suppressed;
+* a waiver matching **no** finding is itself reported (synthetic
+  ``STARBASE`` finding at the baseline file), so the file shrinks as
+  debt is paid instead of fossilising — the same unused-entry
+  direction STAR004 applies to the metric catalogue.
+
+Waivers are deliberately coarse so line churn does not invalidate
+them::
+
+    {
+      "waivers": [
+        {"rule": "STAR008", "path": "repro/obs/events.py",
+         "contains": "open(path", "reason": "streaming sink"}
+      ]
+    }
+
+``path`` matches when the finding's path *ends with* the waiver path
+(findings carry checkout-relative paths like ``src/repro/...``);
+``contains`` (optional) must be a substring of the finding message
+or of the source line it points at. ``reason`` is for the reviewer
+and the audit trail; empty reasons are rejected.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+UNUSED_WAIVER_RULE = "STARBASE"
+
+
+@dataclass(frozen=True)
+class Waiver:
+    rule: str
+    path: str
+    contains: str = ""
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule:
+            return False
+        normalized = finding.path.replace("\\", "/")
+        if not normalized.endswith(self.path):
+            return False
+        if self.contains and self.contains not in finding.message:
+            return False
+        return True
+
+
+class Baseline:
+    def __init__(self, waivers: Sequence[Waiver],
+                 origin: str = "lint-baseline.json") -> None:
+        self.waivers = list(waivers)
+        self.origin = origin
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        waivers = []
+        for i, entry in enumerate(payload.get("waivers", [])):
+            reason = str(entry.get("reason", "")).strip()
+            if not reason:
+                raise ValueError(
+                    "%s: waiver %d has no reason; baselines must "
+                    "say why each finding is waived" % (path, i)
+                )
+            waivers.append(Waiver(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                contains=str(entry.get("contains", "")),
+                reason=reason,
+            ))
+        return cls(waivers, origin=path)
+
+    def apply(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """(surviving findings, unused-waiver findings).
+
+        Each waiver may absorb any number of findings; a waiver that
+        absorbs none comes back as a synthetic finding against the
+        baseline file itself so CI can fail on stale debt records.
+        """
+        used = [False] * len(self.waivers)
+        kept: List[Finding] = []
+        for finding in findings:
+            absorbed = False
+            for i, waiver in enumerate(self.waivers):
+                if waiver.matches(finding):
+                    used[i] = True
+                    absorbed = True
+            if not absorbed:
+                kept.append(finding)
+        unused = [
+            Finding(
+                rule=UNUSED_WAIVER_RULE, path=self.origin,
+                line=1, col=0,
+                message="unused baseline waiver (%s @ %s%s): the "
+                        "finding it covered is gone — delete the "
+                        "entry" % (
+                            waiver.rule, waiver.path,
+                            ", contains=%r" % waiver.contains
+                            if waiver.contains else "",
+                        ),
+            )
+            for i, waiver in enumerate(self.waivers) if not used[i]
+        ]
+        return kept, unused

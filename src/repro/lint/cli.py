@@ -3,12 +3,17 @@
 Usage::
 
     star-lint src/                 # human report, always exits 0
-    star-lint src/ --check         # exit 1 when there are findings (CI)
-    star-lint src/ --json out.json # machine-readable report
+    star-lint src/ --check        # exit 1 when there are findings (CI)
+    star-lint src/ --json out.json     # machine-readable report
+    star-lint src/ --sarif out.sarif   # GitHub code-scanning report
+    star-lint src/ --baseline lint-baseline.json
     star-lint src/ --rules STAR001,STAR003
+    star-lint --list-rules        # print the registry (CI smoke)
 
 The default invocation is report-only so the tool can be run while
-cleaning a tree; CI enforces with ``--check``.
+cleaning a tree; CI enforces with ``--check --baseline``. A baseline
+waives known findings without pragmas, and an unused waiver is itself
+a finding — see :mod:`repro.lint.baseline`.
 """
 
 from __future__ import annotations
@@ -17,11 +22,13 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.lint.baseline import Baseline
 from repro.lint.engine import (
     LintEngine,
     findings_to_json,
     render_text,
 )
+from repro.lint.report import findings_to_sarif
 from repro.lint.rules import default_rules
 
 
@@ -29,10 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="star-lint",
         description="Domain-aware static analysis for the STAR "
-                    "reproduction (rules STAR001..STAR005).",
+                    "reproduction (rules STAR001..STAR008).",
     )
     parser.add_argument(
-        "paths", nargs="+",
+        "paths", nargs="*",
         help="files or directories to lint (directories recurse *.py)",
     )
     parser.add_argument(
@@ -44,16 +51,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a JSON report ('-' for stdout)",
     )
     parser.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="also write a SARIF 2.1.0 report ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="waive findings listed in this baseline file; unused "
+             "waivers are reported as findings",
+    )
+    parser.add_argument(
         "--rules", metavar="CODES", default=None,
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
     )
     return parser
 
 
+def _emit(payload: str, destination: str) -> None:
+    if destination == "-":
+        print(payload)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print("%s %s: %s" % (rule.code, rule.name,
+                                 rule.description))
+        return 0
+    if not args.paths:
+        parser.error("paths are required unless --list-rules is given")
+
     if args.rules is not None:
         wanted = {code.strip() for code in args.rules.split(",")}
         known = {rule.code for rule in rules}
@@ -67,14 +104,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     engine = LintEngine(rules)
     findings = engine.run(args.paths)
 
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print("bad baseline: %s" % exc, file=sys.stderr)
+            return 2
+        findings, unused = baseline.apply(findings)
+        findings = sorted(
+            findings + unused,
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+
     if args.json is not None:
-        payload = findings_to_json(findings)
-        if args.json == "-":
-            print(payload)
-        else:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                handle.write(payload + "\n")
-    if args.json != "-":
+        _emit(findings_to_json(findings), args.json)
+    if args.sarif is not None:
+        _emit(findings_to_sarif(findings, rules), args.sarif)
+    if args.json != "-" and args.sarif != "-":
         print(render_text(findings))
     for error in engine.errors:
         print("error: %s" % error, file=sys.stderr)

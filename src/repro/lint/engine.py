@@ -1,10 +1,17 @@
-"""The lint engine: file walker, rule registry, pragmas, reporters.
+"""The lint engine: project pass, file walker, pragmas, reporters.
 
-A :class:`Rule` inspects one parsed file at a time through a
-:class:`FileContext` and yields :class:`Finding` objects; rules that
-need whole-tree state (STAR004's unused-catalogue direction) accumulate
-it across :meth:`Rule.check` calls and emit the remainder from
-:meth:`Rule.finish`.
+The run is two-phase. Phase one parses every file into a
+:class:`FileContext` and folds each tree into a
+:class:`~repro.lint.project.ProjectContext` (symbol table, call graph,
+class hierarchy); each rule then gets :meth:`Rule.begin` with that
+whole-program view. Phase two walks the files: a :class:`Rule`
+inspects one parsed file at a time through its :class:`FileContext`
+(which carries ``ctx.project``) and yields :class:`Finding` objects;
+rules that need whole-tree state (STAR004's unused-catalogue
+direction) accumulate it across :meth:`Rule.check` calls and emit the
+remainder from :meth:`Rule.finish`. ``finish()`` findings go through
+the same pragma suppression as per-file ones, keyed by the finding's
+path.
 
 Suppression follows the familiar trailing-pragma style::
 
@@ -23,7 +30,9 @@ import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.project import ProjectContext
 
 _PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
 _FILE_PRAGMA = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
@@ -68,6 +77,9 @@ class FileContext:
         self.tree = ast.parse(source, filename=path)
         self.lines: List[str] = source.splitlines()
         self.module_path = _module_path(path)
+        self.project: Optional[ProjectContext] = None
+        """The whole-program view; set by the engine before checks run.
+        ``None`` only when a context is built by hand in tests."""
 
     def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
         return Finding(
@@ -129,6 +141,10 @@ class Rule:
     name = "base-rule"
     description = ""
 
+    def begin(self, project: ProjectContext) -> None:
+        """Called once per run, before any :meth:`check`, with the
+        whole-program view. Per-file rules ignore it."""
+
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         raise NotImplementedError
 
@@ -138,7 +154,7 @@ class Rule:
 
 
 class LintEngine:
-    """Walks files, applies rules, filters pragma suppressions."""
+    """Parses the tree, runs the project pass, applies rules."""
 
     def __init__(self, rules: Sequence[Rule]) -> None:
         self.rules = list(rules)
@@ -149,27 +165,45 @@ class LintEngine:
     # walking
     # ------------------------------------------------------------------
     def run(self, paths: Iterable[str]) -> List[Finding]:
-        findings: List[Finding] = []
+        contexts: List[FileContext] = []
+        project = ProjectContext()
         for path in self._python_files(paths):
-            findings.extend(self.run_file(path))
+            ctx = self._parse(path)
+            if ctx is None:
+                continue
+            ctx.project = project
+            project.add_module(ctx.path, ctx.module_path, ctx.tree)
+            contexts.append(ctx)
         for rule in self.rules:
-            findings.extend(rule.finish())
+            rule.begin(project)
+
+        by_path = {ctx.path: ctx for ctx in contexts}
+        findings: List[Finding] = []
+        for ctx in contexts:
+            for rule in self.rules:
+                for finding in rule.check(ctx):
+                    if not ctx.is_suppressed(finding):
+                        findings.append(finding)
+        for rule in self.rules:
+            for finding in rule.finish():
+                owner = by_path.get(finding.path)
+                if owner is None or not owner.is_suppressed(finding):
+                    findings.append(finding)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
 
     def run_file(self, path: str) -> List[Finding]:
+        """Single-file convenience wrapper over :meth:`run` (the
+        project view then contains just that one module)."""
+        return [f for f in self.run([path]) if f.path == path]
+
+    def _parse(self, path: str) -> Optional[FileContext]:
         try:
             source = Path(path).read_text(encoding="utf-8")
-            ctx = FileContext(path, source)
+            return FileContext(path, source)
         except (OSError, SyntaxError, ValueError) as exc:
             self.errors.append("%s: %s" % (path, exc))
-            return []
-        found: List[Finding] = []
-        for rule in self.rules:
-            for finding in rule.check(ctx):
-                if not ctx.is_suppressed(finding):
-                    found.append(finding)
-        return found
+            return None
 
     @staticmethod
     def _python_files(paths: Iterable[str]) -> Iterator[str]:

@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 reporter for ``star-lint --sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub's
+code-scanning ingestion understands, so emitting it from the CI lint
+job turns findings into review annotations on the PR diff instead of
+a log line someone has to scroll for.
+
+Only the required subset of the schema is produced — ``version``,
+one ``run`` with a ``tool.driver`` (name, rule metadata) and one
+``result`` per finding with a ``physicalLocation``. Paths are
+emitted repo-relative with forward slashes, as the spec's
+``artifactLocation.uri`` requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "star-lint"
+TOOL_URI = "https://github.com/star-repro/star-repro"
+
+
+def _artifact_uri(path: str) -> str:
+    uri = path.replace("\\", "/")
+    while uri.startswith("./"):
+        uri = uri[2:]
+    return uri
+
+
+def finding_to_sarif_result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(finding.path),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        # SARIF columns are 1-based; Finding cols are
+                        # 0-based AST offsets
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_result_to_finding(result: Dict[str, object]) -> Finding:
+    """The inverse mapping (exercised by the round-trip tests)."""
+    locations = result["locations"]  # type: ignore[index]
+    physical = locations[0]["physicalLocation"]  # type: ignore[index]
+    region = physical["region"]
+    return Finding(
+        rule=str(result["ruleId"]),
+        path=str(physical["artifactLocation"]["uri"]),
+        line=int(region["startLine"]),
+        col=int(region["startColumn"]) - 1,
+        message=str(result["message"]["text"]),  # type: ignore[index]
+    )
+
+
+def sarif_report(findings: Sequence[Finding],
+                 rules: Sequence[Rule] = ()) -> Dict[str, object]:
+    """The full SARIF log object for one run."""
+    driver: Dict[str, object] = {
+        "name": TOOL_NAME,
+        "informationUri": TOOL_URI,
+        "rules": [
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+            }
+            for rule in rules
+        ],
+    }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": [
+                    finding_to_sarif_result(f) for f in findings
+                ],
+            }
+        ],
+    }
+
+
+def findings_to_sarif(findings: Sequence[Finding],
+                      rules: Sequence[Rule] = ()) -> str:
+    return json.dumps(sarif_report(findings, rules), indent=2)
+
+
+def findings_from_sarif(text: str) -> List[Finding]:
+    payload = json.loads(text)
+    out: List[Finding] = []
+    for run in payload["runs"]:
+        for result in run["results"]:
+            out.append(sarif_result_to_finding(result))
+    return out

@@ -7,15 +7,21 @@ registry the CLI and CI run with.
 from typing import List
 
 from repro.lint.engine import Rule
+from repro.lint.rules.atomic_publish import AtomicPublishRule
 from repro.lint.rules.determinism import NondeterminismRule
+from repro.lint.rules.fencing import LeaseFencingRule
 from repro.lint.rules.hotpath import HotPathRosterRule
 from repro.lint.rules.metrics import MetricCatalogRule
 from repro.lint.rules.nvm_access import UncountedNvmAccessRule
+from repro.lint.rules.parity import BatchParityRule
 from repro.lint.rules.widths import BitWidthOverflowRule
 
 __all__ = [
+    "AtomicPublishRule",
+    "BatchParityRule",
     "BitWidthOverflowRule",
     "HotPathRosterRule",
+    "LeaseFencingRule",
     "MetricCatalogRule",
     "NondeterminismRule",
     "UncountedNvmAccessRule",
@@ -30,4 +36,7 @@ def default_rules() -> List[Rule]:
         NondeterminismRule(),
         MetricCatalogRule(),
         HotPathRosterRule(),
+        BatchParityRule(),
+        LeaseFencingRule(),
+        AtomicPublishRule(),
     ]

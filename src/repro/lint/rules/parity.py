@@ -1,0 +1,165 @@
+"""STAR006: batch/scalar parity drift.
+
+PR 8's batched epoch pipeline (``repro/sim/batch.py``) re-implements
+the scalar controller's hot path and is pinned bit-identical by
+``tests/test_batch_parity.py`` — but that suite only fails *after*
+someone notices divergent results. The structural hazard is earlier:
+the scalar controller grows a field (a new histogram, a new register)
+and the batch engine silently never mirrors it. This rule turns the
+mirroring contract into a static check.
+
+Mechanics: from the :class:`~repro.lint.project.ProjectContext`, take
+the attribute footprint of the scalar controller class — every
+``self.<attr>`` its methods read or write, minus its own method names
+— and require each field to either appear as an attribute name
+somewhere in the batch module (it is bound, read or mirrored there) or
+be listed in the batch module's explicit module-level exemption
+roster::
+
+    SCALAR_PARITY_EXEMPT = frozenset({"config", "layout", ...})
+
+A field in neither place is a drift finding at its first use in the
+scalar controller. The reverse direction keeps the roster honest: a
+rostered name that *is* referenced in the batch module, or that the
+scalar controller no longer has, is an unused-exemption finding at the
+roster. Matching is by attribute name, which errs toward false
+negatives (any mention in batch.py satisfies it), never false
+positives — the parity suite remains the semantic backstop.
+
+Both sides are configurable, so the self-test fixtures stage a
+synthetic controller/batch pair under fake ``repro/sim/`` paths and
+exercise the rule without depending on the live tree staying dirty.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.lint.engine import FileContext, Finding, Rule
+from repro.lint.project import ClassInfo, ModuleInfo, ProjectContext
+
+DEFAULT_SCALAR = ("repro/sim/controller.py", "SecureMemoryController")
+DEFAULT_BATCH = "repro/sim/batch.py"
+ROSTER_NAME = "SCALAR_PARITY_EXEMPT"
+
+
+def _class_field_footprint(cls: ClassInfo) -> Dict[str, int]:
+    """``self.<attr>`` -> first line, excluding methods and dunders."""
+    methods = set(cls.methods)
+    out: Dict[str, int] = {}
+    for node in ast.walk(cls.node):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr not in methods
+                and not node.attr.startswith("__")):
+            if node.attr not in out or node.lineno < out[node.attr]:
+                out[node.attr] = node.lineno
+    return out
+
+
+def _attribute_names(tree: ast.AST) -> Set[str]:
+    return {node.attr for node in ast.walk(tree)
+            if isinstance(node, ast.Attribute)}
+
+
+def _roster(info: ModuleInfo) -> Optional[Tuple[Set[str], int]]:
+    """The module-level exemption roster literal, with its line."""
+    if info.tree is None:
+        return None
+    for stmt in info.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == ROSTER_NAME
+                   for t in stmt.targets):
+            continue
+        value = stmt.value
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("frozenset", "set")
+                and value.args):
+            value = value.args[0]
+        names: Set[str] = set()
+        if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+            for element in value.elts:
+                if (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    names.add(element.value)
+        return names, stmt.lineno
+    return None
+
+
+class BatchParityRule(Rule):
+    code = "STAR006"
+    name = "batch-scalar-parity"
+    description = (
+        "a scalar hot-path field is neither mirrored by the batch "
+        "engine nor exempted"
+    )
+
+    def __init__(self,
+                 scalar: Tuple[str, str] = DEFAULT_SCALAR,
+                 batch_module: str = DEFAULT_BATCH) -> None:
+        self.scalar_module, self.scalar_class = scalar
+        self.batch_module = batch_module
+        self._project: Optional[ProjectContext] = None
+
+    def begin(self, project: ProjectContext) -> None:
+        self._project = project
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finish(self) -> Iterator[Finding]:
+        project = self._project
+        if project is None:
+            return
+        scalar = project.module(self.scalar_module)
+        batch = project.module(self.batch_module)
+        if scalar is None or batch is None or batch.tree is None:
+            # half the pair in scope: nothing to cross-reference
+            return
+        cls = scalar.classes.get(self.scalar_class)
+        if cls is None:
+            yield Finding(
+                rule=self.code, path=scalar.path, line=1, col=0,
+                message="scalar controller class %r not found in %s; "
+                        "update the STAR006 configuration if it moved"
+                        % (self.scalar_class, self.scalar_module),
+            )
+            return
+        fields = _class_field_footprint(cls)
+        mirrored = _attribute_names(batch.tree)
+        roster_entry = _roster(batch)
+        exempt: Set[str] = set()
+        roster_line = 1
+        if roster_entry is not None:
+            exempt, roster_line = roster_entry
+
+        for attr in sorted(set(fields) - mirrored - exempt):
+            yield Finding(
+                rule=self.code, path=scalar.path,
+                line=fields[attr], col=0,
+                message="scalar hot-path field %r is not mirrored in "
+                        "%s; mirror it in the batch engine or add it "
+                        "to %s with a comment saying why batch "
+                        "execution cannot touch it"
+                        % (attr, self.batch_module, ROSTER_NAME),
+            )
+        for attr in sorted(exempt & mirrored):
+            yield Finding(
+                rule=self.code, path=batch.path,
+                line=roster_line, col=0,
+                message="parity exemption %r is unused: the batch "
+                        "engine references that attribute; drop it "
+                        "from %s" % (attr, ROSTER_NAME),
+            )
+        for attr in sorted(exempt - set(fields)):
+            yield Finding(
+                rule=self.code, path=batch.path,
+                line=roster_line, col=0,
+                message="parity exemption %r is stale: the scalar "
+                        "controller has no such field; drop it from "
+                        "%s" % (attr, ROSTER_NAME),
+            )

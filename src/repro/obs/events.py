@@ -40,7 +40,7 @@ class EventLog:
     # ------------------------------------------------------------------
     # emission
     # ------------------------------------------------------------------
-    def emit(self, kind: str, **fields) -> None:
+    def emit(self, kind: str, **fields: object) -> None:
         """Record one event; no-op while disabled."""
         if not self.enabled:
             return

@@ -18,9 +18,12 @@ byte-identical whether the case ran serially or in a spawn-pool worker
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.util.stats import Stats
+
+if TYPE_CHECKING:
+    from repro.sim.machine import Machine
 
 TAIL_EVENTS = 64
 """How many trailing events failure artifacts carry by default."""
@@ -49,7 +52,8 @@ def strip_wall_clock(events: List[Dict]) -> List[Dict]:
     ]
 
 
-def flight_tail(machine, limit: int = TAIL_EVENTS) -> List[Dict]:
+def flight_tail(machine: "Machine",
+                limit: int = TAIL_EVENTS) -> List[Dict]:
     """The last ``limit`` events across a machine's run + recovery logs.
 
     Recovery events land in a separate registry

@@ -33,10 +33,15 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.obs.metrics import Histogram, MetricRegistry
 from repro.util.stats import Stats
+
+if TYPE_CHECKING:
+    from repro.lab.clock import Clock
+
+PathLike = Union[str, Path]
 
 SNAPSHOT_VERSION = 1
 
@@ -86,8 +91,9 @@ class HeartbeatWriter:
     telemetry into an I/O workload.
     """
 
-    def __init__(self, directory, worker: str,
-                 clock=None, interval_s: float = 1.0,
+    def __init__(self, directory: PathLike, worker: str,
+                 clock: Optional["Clock"] = None,
+                 interval_s: float = 1.0,
                  stats: Optional[Stats] = None) -> None:
         if clock is None:
             from repro.lab.clock import Clock
@@ -139,7 +145,7 @@ class HeartbeatWriter:
         return True
 
 
-def scan_heartbeats(directory) -> Tuple[List[Dict], int]:
+def scan_heartbeats(directory: PathLike) -> Tuple[List[Dict], int]:
     """Every worker's latest snapshot, plus a damaged-file count.
 
     Publication is atomic per file, but a worker can die at any
@@ -199,7 +205,7 @@ def scan_heartbeats(directory) -> Tuple[List[Dict], int]:
     return snapshots, corrupt
 
 
-def read_heartbeats(directory) -> List[Dict]:
+def read_heartbeats(directory: PathLike) -> List[Dict]:
     """Every worker's readable snapshot (compatibility shim over
     :func:`scan_heartbeats` for callers that don't track damage)."""
     return scan_heartbeats(directory)[0]
@@ -230,7 +236,7 @@ class LiveAggregate:
         return [view for view in self.workers if view.stale]
 
 
-def aggregate_heartbeats(directory, now_wall: float,
+def aggregate_heartbeats(directory: PathLike, now_wall: float,
                          stale_after_s: float = 10.0) -> LiveAggregate:
     """Merge every worker snapshot into one registry + liveness list.
 

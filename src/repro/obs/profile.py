@@ -31,7 +31,13 @@ from __future__ import annotations
 import json
 import os
 from functools import wraps
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.lab.clock import Clock
+    from repro.sim.machine import Machine
 
 PHASE_CAPACITY = 100_000
 """Recorded-span cap; beyond it spans are counted but dropped."""
@@ -40,7 +46,8 @@ PHASE_CAPACITY = 100_000
 class PhaseProfiler:
     """Wraps one machine's phase boundaries with dual-timestamp spans."""
 
-    def __init__(self, machine, clock=None,
+    def __init__(self, machine: "Machine",
+                 clock: Optional["Clock"] = None,
                  capacity: int = PHASE_CAPACITY) -> None:
         self.machine = machine
         self.clock = clock
@@ -95,11 +102,11 @@ class PhaseProfiler:
         # door (register or ADR, spilling to the RA) instead
         self._wrap(bitmap, "_load", "adr.load")
 
-    def _wrap(self, obj, name: str, phase: str) -> None:
+    def _wrap(self, obj: object, name: str, phase: str) -> None:
         inner = getattr(obj, name)
 
         @wraps(inner)
-        def timed(*args, **kwargs):
+        def timed(*args: object, **kwargs: object) -> object:
             start = self._sample()
             wall0 = None if self.clock is None else self.clock.now()
             self._depth += 1
@@ -121,7 +128,7 @@ class PhaseProfiler:
         inner = machine.recover
 
         @wraps(inner)
-        def timed_recover(*args, **kwargs):
+        def timed_recover(*args: object, **kwargs: object) -> object:
             start = self._sample()
             wall0 = None if self.clock is None else self.clock.now()
             previous = machine.recovery_stats
@@ -205,7 +212,7 @@ class PhaseProfiler:
             },
         }
 
-    def write_chrome_trace(self, path) -> None:
+    def write_chrome_trace(self, path: Union[str, "Path"]) -> None:
         # tmp-write + os.replace: trace consumers (the CI cmp step,
         # a browser pointed at a live run directory) must never see a
         # torn JSON prefix
@@ -250,7 +257,8 @@ def render_phase_table(aggregate: Dict[str, Dict]) -> str:
     return "\n".join(lines)
 
 
-def install_profiler(machine, clock=None,
+def install_profiler(machine: "Machine",
+                     clock: Optional["Clock"] = None,
                      capacity: int = PHASE_CAPACITY) -> PhaseProfiler:
     """Attach a :class:`PhaseProfiler` to ``machine`` and return it."""
     return PhaseProfiler(machine, clock=clock, capacity=capacity)

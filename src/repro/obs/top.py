@@ -36,11 +36,11 @@ import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple, Union
 
 from repro.lab.clock import Clock
 from repro.obs.export import to_prometheus_text
-from repro.obs.live import aggregate_heartbeats
+from repro.obs.live import LiveAggregate, aggregate_heartbeats
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,7 +101,8 @@ def _pick_journal(journals: List[Dict],
     return journals[-1] if journals else None
 
 
-def build_status(telemetry_dir, store_path=None,
+def build_status(telemetry_dir: Union[str, Path],
+                 store_path: Optional[Union[str, Path]] = None,
                  campaign: Optional[str] = None,
                  now_wall: Optional[float] = None,
                  stale_after_s: float = 10.0) -> Dict:
@@ -171,7 +172,7 @@ def build_status(telemetry_dir, store_path=None,
 # ----------------------------------------------------------------------
 # rendering
 # ----------------------------------------------------------------------
-def _fmt(value, pattern: str, empty: str = "-") -> str:
+def _fmt(value: object, pattern: str, empty: str = "-") -> str:
     return empty if value is None else pattern % value
 
 
@@ -241,9 +242,9 @@ class _Endpoint(BaseHTTPRequestHandler):
 
     # set by serve(): a zero-argument callable returning
     # (status dict, LiveAggregate)
-    source = None
+    source: ClassVar[Callable[[], Tuple[Dict, LiveAggregate]]]
 
-    def do_GET(self):  # noqa: N802 (BaseHTTPRequestHandler API)
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
         status, aggregate = type(self).source()
         if self.path.split("?")[0] == "/metrics":
             body = to_prometheus_text(aggregate.registry).encode()
@@ -261,11 +262,14 @@ class _Endpoint(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def log_message(self, format, *args):  # noqa: A002
+    def log_message(self, format: str,
+                    *args: object) -> None:  # noqa: A002
         pass  # a dashboard should not spam the terminal it draws on
 
 
-def serve(port: int, snapshot) -> ThreadingHTTPServer:
+def serve(port: int,
+          snapshot: Callable[[], Tuple[Dict, LiveAggregate]],
+          ) -> ThreadingHTTPServer:
     """Start the endpoint on a daemon thread; returns the server.
 
     ``snapshot`` is a zero-argument callable producing a fresh
@@ -283,7 +287,7 @@ def serve(port: int, snapshot) -> ThreadingHTTPServer:
 # ----------------------------------------------------------------------
 # main loop
 # ----------------------------------------------------------------------
-def _resolve_telemetry(args) -> Optional[Path]:
+def _resolve_telemetry(args: argparse.Namespace) -> Optional[Path]:
     if args.telemetry is not None:
         return Path(args.telemetry)
     if getattr(args, "farm", None) is not None:
@@ -302,7 +306,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     clock = Clock()
 
-    def snapshot():
+    def snapshot() -> Tuple[Dict, LiveAggregate]:
         now_wall = clock.wall()
         status = build_status(
             telemetry, store_path=args.store, campaign=args.campaign,

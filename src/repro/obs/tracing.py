@@ -77,7 +77,8 @@ class SpanTracer:
         self._stack: List[Span] = []
 
     @contextmanager
-    def span(self, name: str, **attrs) -> Iterator[Optional[Span]]:
+    def span(self, name: str,
+             **attrs: object) -> Iterator[Optional[Span]]:
         """Open a span; nesting and timing are automatic."""
         if not self.enabled:
             yield None

@@ -1,0 +1,24 @@
+"""STAR001 fixture: an uncounted NVM access hidden behind helpers.
+
+``census`` never mentions an nvm-shaped receiver, so the PR 4
+receiver-name heuristic is blind to it; the whole-program effect
+propagation must still flag ``audit``'s call, where the NVM value
+flows into the effectful parameter — including through ``relay``,
+one more level of indirection.
+"""
+
+
+def census(store):
+    # `store` reaches region internals: the effectful parameter
+    return len(store._data) + len(store._meta)
+
+
+def relay(device):
+    # inherits census's effect on its own parameter
+    return census(device)
+
+
+def audit(machine):
+    direct = census(machine.nvm)   # finding: effectful call
+    chained = relay(machine.nvm)   # finding: transitive effect
+    return direct + chained

@@ -1,0 +1,7 @@
+"""STAR002 fixture: a constant that busts the paper's bit budget.
+
+``lsbs`` is a 10-bit field (the minor counter); ``1 << 12`` cannot
+fit and silently wraps in the real encoder.
+"""
+
+lsbs = 1 << 12

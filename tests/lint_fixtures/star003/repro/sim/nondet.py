@@ -1,0 +1,11 @@
+"""STAR003 fixture: global randomness inside a simulation path.
+
+Module-level ``random`` calls make runs irreproducible; the simulator
+must thread a seeded ``random.Random`` instead.
+"""
+
+import random
+
+
+def jitter():
+    return random.randrange(4)

@@ -1,0 +1,9 @@
+"""STAR004 fixture: a metric name missing from the catalogue.
+
+``nvm.meta_wrytes`` is a typo for ``nvm.meta_writes``; uncatalogued
+names silently vanish from every dashboard and export.
+"""
+
+
+def account(stats):
+    stats.add("nvm.meta_wrytes")

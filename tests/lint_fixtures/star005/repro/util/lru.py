@@ -1,0 +1,11 @@
+"""STAR005 fixture: a rostered hot-path class without ``__slots__``.
+
+``repro/util/lru.py::LRUCache`` is on the default roster; dropping
+the slots declaration silently reintroduces per-instance dicts on the
+hottest allocation path.
+"""
+
+
+class LRUCache:
+    def __init__(self):
+        self.entries = {}

@@ -1,0 +1,16 @@
+"""STAR006 fixture, batch side: mirrors ``geometry``, exempts
+``config``, and knows nothing about ``_synthetic_hist``."""
+
+SCALAR_PARITY_EXEMPT = frozenset({
+    "config",  # construction-time wiring only
+})
+
+
+class EpochEngine:
+    __slots__ = ("geometry",)
+
+    def __init__(self, ctrl):
+        self.geometry = ctrl.geometry
+
+    def run(self, ops):
+        return [self.geometry.node_of(op) for op in ops]

@@ -1,0 +1,19 @@
+"""STAR006 fixture, scalar side: a controller with a drifted field.
+
+``_synthetic_hist`` is touched by the scalar hot path but neither
+mirrored in the sibling batch fixture nor listed in its
+``SCALAR_PARITY_EXEMPT`` roster — the drift the rule must flag.
+``geometry`` is mirrored and ``config`` is exempted, so neither may
+be reported.
+"""
+
+
+class SecureMemoryController:
+    def __init__(self, config, geometry):
+        self.config = config
+        self.geometry = geometry
+        self._synthetic_hist = {}
+
+    def write_data(self, address, value):
+        self._synthetic_hist[address] = value
+        return self.geometry.node_of(address)

@@ -1,0 +1,34 @@
+"""STAR007 fixture: an unfenced lease-board mutation.
+
+``expire`` updates the leases table with neither a ``_begin()``
+transaction nor the fenced-helper roster; ``requeue`` shows the
+compliant shape and must stay silent.
+"""
+
+
+class LeaseBoard:
+    def __init__(self, conn):
+        self._conn = conn
+
+    def _begin(self):
+        self._conn.execute("BEGIN IMMEDIATE")
+
+    def expire(self, spec_hash):
+        cursor = self._conn.execute(
+            "UPDATE leases SET state = 'pending' WHERE spec_hash = ?",
+            (spec_hash,),
+        )
+        return cursor.rowcount == 1
+
+    def requeue(self, spec_hash):
+        self._begin()
+        try:
+            self._conn.execute(
+                "UPDATE leases SET state = 'pending' "
+                "WHERE spec_hash = ?",
+                (spec_hash,),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise

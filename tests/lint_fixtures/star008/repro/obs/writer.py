@@ -1,0 +1,21 @@
+"""STAR008 fixture: an in-place telemetry publish.
+
+``publish`` rewrites the status file where readers poll it; a
+concurrent reader can observe a torn prefix. ``publish_atomic`` is
+the sanctioned tmp-write + ``os.replace`` shape and must stay silent.
+"""
+
+import json
+import os
+
+
+def publish(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def publish_atomic(path, payload):
+    tmp = "%s.tmp" % path
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
