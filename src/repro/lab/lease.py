@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.errors import ConfigError
 from repro.lab.clock import BackoffPolicy, Clock
 from repro.lab.spec import RunSpec, canonical_json
 
@@ -91,16 +92,21 @@ class LeaseBoard:
     """The shared lease table one farm campaign coordinates through."""
 
     def __init__(self, path: PathLike, clock: Optional[Clock] = None,
-                 busy_timeout_s: float = 10.0) -> None:
+                 busy_timeout_s: float = 10.0,
+                 cross_thread: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.clock = clock if clock is not None else Clock()
         # autocommit mode: transactions are opened explicitly with
         # BEGIN IMMEDIATE so claim's read-then-update is atomic across
-        # processes
+        # processes. ``cross_thread`` lets the HTTP lease server share
+        # one board across handler threads — the server serializes every
+        # verb behind its own lock, so sqlite's same-thread check would
+        # only get in the way.
         self._conn = sqlite3.connect(
             str(self.path), timeout=busy_timeout_s,
             isolation_level=None,
+            check_same_thread=not cross_thread,
         )
         self._conn.execute(
             "PRAGMA busy_timeout = %d" % int(busy_timeout_s * 1000)
@@ -207,12 +213,27 @@ class LeaseBoard:
         peer). Rows are taken in spec-hash order so claim order is
         deterministic for a given board state. Each claim bumps the
         row's fence.
+
+        ``lease_s`` must be positive (a non-positive lease would seed
+        an already-expired deadline, turning every claim into an
+        instant steal target) and ``limit`` must be at least one (a
+        zero batch would silently claim nothing, forever).
         """
+        if lease_s <= 0:
+            raise ConfigError(
+                "claim lease_s must be positive, got %r: a "
+                "non-positive lease seeds an already-expired deadline"
+                % lease_s
+            )
+        if limit <= 0:
+            raise ConfigError(
+                "claim batch size must be at least 1, got %r" % limit
+            )
         now = self.clock.wall()
         self._begin()
         try:
             rows = self._conn.execute(
-                _CLAIMABLE_SQL, (now, max(0, limit))
+                _CLAIMABLE_SQL, (now, limit)
             ).fetchall()
             leases = []
             for (spec_hash, spec_json, state, prior_owner, fence,
@@ -339,6 +360,27 @@ class LeaseBoard:
                 "ORDER BY spec_hash", (state,),
             )
         return [row[0] for row in rows]
+
+    def lease_row(self, spec_hash: str) -> Optional[Dict]:
+        """One cell's row as a dict (``None`` when unknown).
+
+        Read-only: the HTTP lease server uses it to tell a *retried*
+        ``complete`` (same owner and fence already landed the row in
+        ``done`` — acknowledge, don't re-apply) from a genuinely stale
+        one (someone else owns the cell — reject).
+        """
+        row = self._conn.execute(
+            "SELECT spec_hash, state, owner, deadline, fence, "
+            "attempts, error FROM leases WHERE spec_hash = ?",
+            (spec_hash,),
+        ).fetchone()
+        if row is None:
+            return None
+        (spec_hash, state, owner, deadline, fence, attempts,
+         error) = row
+        return {"spec_hash": spec_hash, "state": state, "owner": owner,
+                "deadline": deadline, "fence": fence,
+                "attempts": attempts, "error": error}
 
     def rows(self) -> List[Dict]:
         """Every row as a dict, in spec-hash order (status surfaces)."""

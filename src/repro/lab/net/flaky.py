@@ -1,0 +1,219 @@
+"""A fault-injecting HTTP proxy for lease-transport tests.
+
+Sits in-process between an :class:`~repro.lab.net.client
+.HttpLeaseClient` and a real :class:`~repro.lab.net.server
+.LeaseServer`, forwarding requests verbatim except where a *fault
+plan* says otherwise. The faults model the network failure modes the
+transport must survive:
+
+``drop_request``
+    Close the connection without forwarding. The coordinator never
+    saw the verb; the client retries.
+``drop_response``
+    Forward, then close without relaying the response. The
+    coordinator *executed* the verb but the client cannot know — its
+    retry is a duplicate delivery, which fencing must absorb.
+``duplicate``
+    Forward the request twice, relay the second response. Duplicate
+    delivery without any client retry (a middlebox replay).
+``truncate``
+    Relay the response with its full ``Content-Length`` but only half
+    the body, then close. The client sees a short read and retries.
+``delay``
+    Forward, then sleep ``delay_s`` through the proxy's clock before
+    relaying — with a client timeout below the delay this turns into
+    a timeout-plus-duplicate.
+
+Plans are deterministic: :func:`scripted_plan` maps request index to
+fault, :func:`seeded_plan` draws from a seeded ``random.Random``. The
+proxy counts what it injected (:attr:`FlakyProxy.injected`) so tests
+can assert the faults actually fired.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from random import Random
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.lab.clock import Clock
+
+#: Every fault kind a plan may return (``None`` means forward clean).
+FAULTS = (
+    "drop_request", "drop_response", "duplicate", "truncate", "delay",
+)
+
+#: ``plan(request_index, path) -> fault kind or None``.
+FaultPlan = Callable[[int, str], Optional[str]]
+
+#: Request headers the proxy relays upstream.
+_RELAYED_HEADERS = ("content-type", "content-encoding",
+                    "x-star-attempt")
+
+
+def scripted_plan(script: Sequence[Optional[str]]) -> FaultPlan:
+    """Fault-by-request-index; clean past the end of the script."""
+    faults = list(script)
+
+    def plan(index: int, path: str) -> Optional[str]:
+        return faults[index] if index < len(faults) else None
+
+    return plan
+
+
+def seeded_plan(seed: int, rates: Dict[str, float]) -> FaultPlan:
+    """Independent per-request draws from a seeded ``Random``.
+
+    ``rates`` maps fault kind to probability; kinds are tried in
+    sorted order so the draw sequence is a pure function of the seed.
+    """
+    for kind in rates:
+        if kind not in FAULTS:
+            raise ValueError("unknown fault kind %r (know %s)"
+                             % (kind, ", ".join(FAULTS)))
+    rng = Random(seed)
+    kinds = sorted(rates)
+
+    def plan(index: int, path: str) -> Optional[str]:
+        for kind in kinds:
+            if rng.random() < rates[kind]:
+                return kind
+        return None
+
+    return plan
+
+
+class FlakyProxy:
+    """An in-process proxy applying a fault plan per request."""
+
+    def __init__(self, upstream: str, plan: FaultPlan,
+                 host: str = "127.0.0.1", port: int = 0,
+                 clock: Optional[Clock] = None,
+                 delay_s: float = 0.05,
+                 timeout_s: float = 10.0) -> None:
+        self.upstream = upstream.rstrip("/")
+        self.plan = plan
+        self.clock = clock if clock is not None else Clock()
+        self.delay_s = delay_s
+        self.timeout_s = timeout_s
+        self.requests = 0
+        self.injected: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        handler = type("_BoundProxyHandler", (_ProxyHandler,),
+                       {"proxy": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return "http://%s:%d" % (host, port)
+
+    def start(self) -> "FlakyProxy":
+        thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True,
+            name="star-lab-flaky-proxy",
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "FlakyProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # handler support
+    # ------------------------------------------------------------------
+    def next_fault(self, path: str) -> Optional[str]:
+        with self._lock:
+            index = self.requests
+            self.requests += 1
+            fault = self.plan(index, path)
+            if fault is not None:
+                self.injected[fault] = self.injected.get(fault, 0) + 1
+            return fault
+
+    def forward(self, method: str, path: str, body: bytes,
+                headers: Dict[str, str]) -> Tuple[int, bytes]:
+        request = urllib.request.Request(
+            self.upstream + path, data=body or None, method=method,
+            headers=headers,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.getcode(), response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+
+class _ProxyHandler(BaseHTTPRequestHandler):
+    proxy: ClassVar[FlakyProxy]
+    protocol_version = "HTTP/1.1"
+
+    def _handle(self) -> None:
+        proxy = type(self).proxy
+        path = self.path
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        body = self.rfile.read(length) if length > 0 else b""
+        headers = {
+            key: value for key, value in self.headers.items()
+            if key.lower() in _RELAYED_HEADERS
+        }
+        fault = proxy.next_fault(path)
+        if fault == "drop_request":
+            self.close_connection = True
+            return
+        status, payload = proxy.forward(self.command, path, body,
+                                        headers)
+        if fault == "duplicate":
+            status, payload = proxy.forward(self.command, path, body,
+                                            headers)
+        if fault == "delay":
+            proxy.clock.sleep(proxy.delay_s)
+        if fault == "drop_response":
+            self.close_connection = True
+            return
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        if fault == "truncate" and len(payload) > 1:
+            self.wfile.write(payload[: len(payload) // 2])
+            self.close_connection = True
+            return
+        self.wfile.write(payload)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+        self._handle()
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        self._handle()
+
+    def do_PUT(self) -> None:  # noqa: N802 (stdlib handler API)
+        self._handle()
+
+    def log_message(self, format: str,
+                    *args: object) -> None:  # noqa: A002
+        pass  # fault noise belongs in counters, not test output

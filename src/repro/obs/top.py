@@ -101,11 +101,23 @@ def _pick_journal(journals: List[Dict],
     return journals[-1] if journals else None
 
 
+def _read_farm_manifest(farm_path: Path) -> Optional[Dict]:
+    """The farm's ``farm.json``, or ``None`` (absent, corrupt, racy
+    mid-replace read — star-top never fails over a manifest)."""
+    try:
+        with open(farm_path / "farm.json") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return manifest if isinstance(manifest, dict) else None
+
+
 def build_status(telemetry_dir: Union[str, Path],
                  store_path: Optional[Union[str, Path]] = None,
                  campaign: Optional[str] = None,
                  now_wall: Optional[float] = None,
-                 stale_after_s: float = 10.0) -> Dict:
+                 stale_after_s: float = 10.0,
+                 farm_path: Optional[Union[str, Path]] = None) -> Dict:
     """Assemble the full dashboard state as one JSON-ready dict.
 
     This is what ``/status`` serves and what the renderer consumes, so
@@ -120,6 +132,7 @@ def build_status(telemetry_dir: Union[str, Path],
         "now_wall_s": now_wall,
         "telemetry_dir": str(telemetry_dir),
         "campaign": None,
+        "farm": None,
         "throughput_cps": None,
         "eta_s": None,
         "stale": False,
@@ -142,6 +155,15 @@ def build_status(telemetry_dir: Union[str, Path],
             },
         },
     }
+    if farm_path is not None:
+        manifest = _read_farm_manifest(Path(farm_path))
+        if manifest is not None:
+            status["farm"] = {
+                "name": manifest.get("name"),
+                "cells": manifest.get("cells"),
+                "transport": manifest.get("transport",
+                                          {"kind": "file"}),
+            }
     if store_path is not None:
         from repro.lab.scheduler import checkpoint_rates
         from repro.lab.store import ResultStore
@@ -179,6 +201,13 @@ def _fmt(value: object, pattern: str, empty: str = "-") -> str:
 def render_dashboard(status: Dict) -> str:
     """The terminal view of one :func:`build_status` snapshot."""
     lines = ["star-top — %s" % status["telemetry_dir"]]
+    farm = status.get("farm")
+    if farm:
+        transport = farm.get("transport") or {}
+        where = (transport.get("url") or transport.get("board")
+                 or "?")
+        lines.append("farm: transport %s %s"
+                     % (transport.get("kind", "file"), where))
     campaign = status.get("campaign")
     if campaign:
         counts = campaign.get("counts", {})
@@ -208,6 +237,12 @@ def render_dashboard(status: Dict) -> str:
         ("farm_done", "lab.farm.cells_done"),
         ("farm_failed", "lab.farm.cells_failed"),
         ("merged", "lab.farm.merged_records"),
+        ("shipped", "lab.farm.results_shipped"),
+        ("net_req", "lab.net.requests"),
+        ("net_retry", "lab.net.retries"),
+        ("net_reject", "lab.net.rejects"),
+        ("net_dup", "lab.net.duplicates"),
+        ("net_err", "lab.net.errors"),
     ]
     cells = ["%s %d" % (label, counters[name])
              for label, name in interesting if name in counters]
@@ -311,6 +346,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         status = build_status(
             telemetry, store_path=args.store, campaign=args.campaign,
             now_wall=now_wall, stale_after_s=args.stale_after,
+            farm_path=args.farm,
         )
         aggregate = aggregate_heartbeats(
             telemetry, now_wall=now_wall,

@@ -7,7 +7,10 @@ SIGKILLed mid-cell (modelled as a claim that is simply never renewed
 or settled).
 """
 
+import pytest
+
 from repro.bench.runner import config_for_scale
+from repro.errors import ConfigError
 from repro.lab.clock import BackoffPolicy, FakeClock
 from repro.lab.lease import LeaseBoard
 from repro.lab.spec import bench_spec
@@ -140,6 +143,38 @@ class TestClaiming:
         clock.advance(6.0)
         (again,) = board.claim("w1", lease_s=5.0)
         assert not again.stolen  # own expired lease, not theft
+
+
+class TestClaimHardening:
+    """Bad claim inputs fail loudly instead of seeding bad deadlines."""
+
+    @pytest.mark.parametrize("lease_s", [0.0, -1.0, -0.001])
+    def test_non_positive_lease_is_rejected(self, tmp_path, lease_s):
+        board = make_board(tmp_path)
+        board.seed(make_specs(1))
+        with pytest.raises(ConfigError, match="lease_s"):
+            board.claim("w1", lease_s=lease_s)
+        # nothing was claimed, nothing was fenced
+        assert board.counts()["pending"] == 1
+
+    @pytest.mark.parametrize("limit", [0, -1, -7])
+    def test_non_positive_batch_is_rejected(self, tmp_path, limit):
+        board = make_board(tmp_path)
+        board.seed(make_specs(1))
+        with pytest.raises(ConfigError, match="batch"):
+            board.claim("w1", lease_s=60.0, limit=limit)
+        assert board.counts()["pending"] == 1
+
+    def test_lease_row_reads_back_one_cell(self, tmp_path):
+        board = make_board(tmp_path)
+        specs = make_specs(1)
+        board.seed(specs)
+        (lease,) = board.claim("w1", lease_s=60.0)
+        row = board.lease_row(lease.spec_hash)
+        assert row is not None
+        assert row["state"] == "leased" and row["owner"] == "w1"
+        assert row["fence"] == lease.fence
+        assert board.lease_row("no-such-hash") is None
 
 
 class TestFencing:

@@ -433,6 +433,64 @@ class TestStarTop:
         assert top_main([]) == 2
 
 
+class TestFarmHeader:
+    """star-top --farm surfaces how workers reach the lease board."""
+
+    def _farm(self, tmp_path, transport):
+        farm = tmp_path / "farm"
+        (farm / "telemetry").mkdir(parents=True)
+        manifest = {"campaign_id": "deadbeef", "name": "smoke",
+                    "cells": 4, "lease_s": 60.0,
+                    "transport": transport}
+        (farm / "farm.json").write_text(json.dumps(manifest))
+        return farm
+
+    def test_http_transport_shows_coordinator_url(self, tmp_path):
+        farm = self._farm(tmp_path, {
+            "kind": "http", "url": "http://coord.example:9433",
+        })
+        status = build_status(farm / "telemetry", farm_path=farm)
+        assert status["farm"]["transport"]["kind"] == "http"
+        text = render_dashboard(status)
+        assert ("farm: transport http http://coord.example:9433"
+                in text)
+
+    def test_file_transport_shows_board_path(self, tmp_path):
+        farm = self._farm(tmp_path, {
+            "kind": "file", "board": "/mnt/shared/leases.sqlite",
+        })
+        status = build_status(farm / "telemetry", farm_path=farm)
+        text = render_dashboard(status)
+        assert ("farm: transport file /mnt/shared/leases.sqlite"
+                in text)
+
+    def test_missing_or_corrupt_manifest_is_tolerated(self, tmp_path):
+        farm = tmp_path / "farm"
+        (farm / "telemetry").mkdir(parents=True)
+        status = build_status(farm / "telemetry", farm_path=farm)
+        assert status["farm"] is None
+        (farm / "farm.json").write_text("{half a manif")
+        status = build_status(farm / "telemetry", farm_path=farm)
+        assert status["farm"] is None
+        assert "farm: transport" not in render_dashboard(status)
+
+    def test_net_counters_render(self, tmp_path):
+        farm = self._farm(tmp_path, {"kind": "http",
+                                     "url": "http://c:1"})
+        status = build_status(farm / "telemetry", farm_path=farm)
+        status["metrics"]["counters"].update({
+            "lab.net.requests": 120, "lab.net.retries": 3,
+            "lab.net.rejects": 2, "lab.net.duplicates": 1,
+            "lab.farm.results_shipped": 4,
+        })
+        text = render_dashboard(status)
+        assert "net_req 120" in text
+        assert "net_retry 3" in text
+        assert "net_reject 2" in text
+        assert "net_dup 1" in text
+        assert "shipped 4" in text
+
+
 # ----------------------------------------------------------------------
 # escape/unescape round-trip (the exporter asymmetry pin)
 # ----------------------------------------------------------------------
